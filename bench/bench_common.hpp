@@ -1,0 +1,66 @@
+// Shared helpers for the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "os/kernel.hpp"
+#include "plugvolt/characterizer.hpp"
+#include "plugvolt/safe_state.hpp"
+#include "sim/cpu_profile.hpp"
+#include "util/table.hpp"
+
+namespace pv::bench {
+
+/// Run the paper's Algorithm 2 sweep on `profile` at the given offset
+/// resolution (the paper uses 1 mV).
+inline plugvolt::SafeStateMap characterize(const sim::CpuProfile& profile,
+                                           Millivolts step = Millivolts{1.0},
+                                           std::uint64_t seed = 0xDAC2024) {
+    sim::Machine machine(profile, seed);
+    os::Kernel kernel(machine);
+    plugvolt::CharacterizerConfig config;
+    config.offset_step = step;
+    plugvolt::Characterizer chr(kernel, config);
+    return chr.characterize();
+}
+
+/// Render one safe/unsafe characterization as a paper-figure-shaped
+/// table plus an ASCII strip chart (offset axis, one row per frequency).
+inline void print_characterization(const sim::CpuProfile& profile,
+                                   const plugvolt::SafeStateMap& map,
+                                   const char* figure_tag) {
+    std::printf("=== %s: characterization of unsafe/safe system states for %s, "
+                "microcode version: %s ===\n",
+                figure_tag, profile.codename.c_str(), profile.microcode.c_str());
+    std::printf("system: %s\nsweep: offsets 0..%.0f mV at 1 mV, 10^6 imul per cell, "
+                "frequency table %.1f-%.1f GHz at 0.1 GHz\n\n",
+                profile.name.c_str(), map.sweep_floor().value(),
+                profile.freq_min.gigahertz(), profile.freq_max.gigahertz());
+
+    Table table({"freq (GHz)", "fault onset (mV)", "crash (mV)", "unsafe band (mV)",
+                 "0 mV [.safe  #unsafe  Xcrash] " + std::to_string(
+                     static_cast<int>(map.sweep_floor().value())) + " mV"});
+    constexpr int kStripWidth = 60;
+    for (const auto& row : map.rows()) {
+        std::string strip(kStripWidth, '.');
+        if (!row.fault_free) {
+            const double floor_mv = -map.sweep_floor().value();
+            const int onset_pos = static_cast<int>(-row.onset.value() / floor_mv * kStripWidth);
+            const int crash_pos = static_cast<int>(-row.crash.value() / floor_mv * kStripWidth);
+            for (int i = onset_pos; i < kStripWidth; ++i) strip[static_cast<std::size_t>(i)] = '#';
+            for (int i = crash_pos; i < kStripWidth; ++i) strip[static_cast<std::size_t>(i)] = 'X';
+        }
+        const bool crashed = row.crash >= map.sweep_floor();
+        table.add_row({Table::num(row.freq.gigahertz(), 1),
+                       row.fault_free ? "none<=floor" : Table::num(row.onset.value(), 0),
+                       crashed ? Table::num(row.crash.value(), 0) : ">floor",
+                       row.fault_free ? "-" : Table::num(row.onset.value() - row.crash.value(), 0),
+                       strip});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("maximal safe state (Sec. 5, 15 mV guard): %.0f mV\n\n",
+                map.maximal_safe_offset().value());
+}
+
+}  // namespace pv::bench

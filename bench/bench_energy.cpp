@@ -1,0 +1,119 @@
+// Ablation: the energy value of benign undervolting under each defense.
+//
+// The paper's usability argument is qualitative ("countermeasures must
+// not deny DVFS to benign software").  This bench makes it quantitative:
+// a battery-saver workload (fixed work at 1.2 GHz) runs under each
+// defense configuration with the user requesting a -150 mV undervolt,
+// and we measure package energy via the machine's RAPL counter.  Access
+// control forfeits the entire saving; PlugVolt's safe-limit policy keeps
+// ~all of it; the maximal-safe clamp keeps a predictable slice.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "defenses/access_control.hpp"
+#include "os/cpupower.hpp"
+#include "plugvolt/plugvolt.hpp"
+#include "sgx/runtime.hpp"
+#include "sim/ocm.hpp"
+
+using namespace pv;
+
+namespace {
+
+struct Run {
+    double joules = 0.0;
+    double applied_mv = 0.0;
+};
+
+// Fixed batch of work at 1.2 GHz with a -150 mV undervolt request.
+template <typename Setup>
+Run run_scenario(const sim::CpuProfile& profile, Setup&& setup) {
+    sim::Machine machine(profile, 99);
+    os::Kernel kernel(machine);
+    sgx::SgxRuntime runtime(kernel);
+    auto keep_alive = setup(machine, kernel, runtime);
+    auto enclave = runtime.create_enclave("tenant", 3);
+
+    os::Cpupower cpupower(kernel.cpufreq(), machine.core_count());
+    cpupower.frequency_set(from_ghz(1.2));
+    machine.advance_to(machine.rail_settle_time());
+    kernel.msr().ioctl_wrmsr(0, 0, sim::kMsrOcMailbox,
+                             sim::encode_offset(Millivolts{-150.0},
+                                                sim::VoltagePlane::Core));
+    machine.advance(milliseconds(2.0));
+
+    const double before = machine.power().total_joules();
+    for (unsigned c = 0; c < machine.core_count(); ++c)
+        (void)machine.run_batch(c, sim::InstrClass::Alu, 12'000'000);
+    return {machine.power().total_joules() - before,
+            machine.applied_offset(sim::VoltagePlane::Core).value()};
+}
+
+}  // namespace
+
+int main() {
+    const sim::CpuProfile profile = sim::cometlake_i7_10510u();
+    const plugvolt::SafeStateMap map = bench::characterize(profile, Millivolts{2.0});
+    std::printf("=== Energy value of benign undervolting under each defense ===\n");
+    std::printf("workload: 4 x 12M ALU ops at 1.2 GHz, user requests -150 mV "
+                "(safe there: onset ~-296 mV)\n\n");
+
+    using Setup = std::function<std::shared_ptr<void>(sim::Machine&, os::Kernel&,
+                                                      sgx::SgxRuntime&)>;
+    const std::vector<std::pair<std::string, Setup>> scenarios = {
+        {"no defense (baseline saving)",
+         [](sim::Machine&, os::Kernel&, sgx::SgxRuntime&) { return std::shared_ptr<void>(); }},
+        {"PlugVolt polling (safe-limit)",
+         [&](sim::Machine&, os::Kernel& k, sgx::SgxRuntime&) {
+             auto p = std::make_shared<plugvolt::Protector>(k, map);
+             p->deploy(plugvolt::DeploymentLevel::KernelModule);
+             return std::shared_ptr<void>(p);
+         }},
+        {"PlugVolt polling (maximal-safe)",
+         [&](sim::Machine&, os::Kernel& k, sgx::SgxRuntime&) {
+             auto p = std::make_shared<plugvolt::Protector>(k, map);
+             plugvolt::PollingConfig cfg;
+             cfg.restore = plugvolt::RestorePolicy::ClampToMaximalSafe;
+             p->deploy(plugvolt::DeploymentLevel::KernelModule, cfg);
+             return std::shared_ptr<void>(p);
+         }},
+        {"PlugVolt hardware MSR clamp",
+         [&](sim::Machine&, os::Kernel& k, sgx::SgxRuntime&) {
+             auto p = std::make_shared<plugvolt::Protector>(k, map);
+             p->deploy(plugvolt::DeploymentLevel::HardwareMsr);
+             return std::shared_ptr<void>(p);
+         }},
+        {"Intel SA-00289 access control",
+         [&](sim::Machine& m, os::Kernel&, sgx::SgxRuntime& rt) {
+             auto p = std::make_shared<defense::AccessControl>(m, rt);
+             p->install();
+             return std::shared_ptr<void>(p);
+         }},
+    };
+
+    // The no-undervolt reference for the savings column.
+    const Run reference = run_scenario(profile, [](sim::Machine& m, os::Kernel&,
+                                                   sgx::SgxRuntime&) {
+        // Block every OCM write: pure nominal-voltage baseline.
+        m.add_write_hook([](unsigned, std::uint32_t addr, std::uint64_t&) {
+            return addr == sim::kMsrOcMailbox ? sim::MsrWriteAction::Ignore
+                                              : sim::MsrWriteAction::Allow;
+        });
+        return std::shared_ptr<void>();
+    });
+
+    Table table({"defense", "applied offset (mV)", "energy (J)", "saving vs nominal"});
+    table.add_row({"(nominal voltage reference)", "0", Table::num(reference.joules, 3), "-"});
+    for (const auto& [name, setup] : scenarios) {
+        const Run r = run_scenario(profile, setup);
+        table.add_row({name, Table::num(r.applied_mv, 0), Table::num(r.joules, 3),
+                       Table::pct((reference.joules - r.joules) / reference.joules, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Reading: dynamic energy scales with V^2, so the -150 mV saver cuts a\n"
+                "~20%% voltage slice into a ~35%% energy saving.  PlugVolt's safe-limit\n"
+                "policy preserves it in full; the maximal-safe clamp preserves the slice\n"
+                "down to %.0f mV; access control forfeits all of it.\n",
+                map.maximal_safe_offset().value());
+    return 0;
+}

@@ -1,0 +1,9 @@
+// Fig. 2 reproduction: safe/unsafe characterization, Sky Lake (ucode 0xf0).
+#include "bench_common.hpp"
+
+int main() {
+    const auto profile = pv::sim::skylake_i5_6500();
+    const auto map = pv::bench::characterize(profile);
+    pv::bench::print_characterization(profile, map, "Fig. 2");
+    return 0;
+}

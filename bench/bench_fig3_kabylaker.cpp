@@ -1,0 +1,9 @@
+// Fig. 3 reproduction: safe/unsafe characterization, Kaby Lake R (ucode 0xf4).
+#include "bench_common.hpp"
+
+int main() {
+    const auto profile = pv::sim::kabylake_r_i5_8250u();
+    const auto map = pv::bench::characterize(profile);
+    pv::bench::print_characterization(profile, map, "Fig. 3");
+    return 0;
+}

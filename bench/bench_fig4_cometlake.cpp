@@ -1,0 +1,9 @@
+// Fig. 4 reproduction: safe/unsafe characterization, Comet Lake (ucode 0xf4).
+#include "bench_common.hpp"
+
+int main() {
+    const auto profile = pv::sim::cometlake_i7_10510u();
+    const auto map = pv::bench::characterize(profile);
+    pv::bench::print_characterization(profile, map, "Fig. 4");
+    return 0;
+}

@@ -1,0 +1,148 @@
+// google-benchmark micro-costs of the hot paths: everything the polling
+// kthread touches per wakeup, plus the physics kernels the simulator
+// evaluates per slice.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include <memory>
+
+#include "plugvolt/polling_module.hpp"
+#include "plugvolt/safe_state.hpp"
+#include "sim/thermal.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/machine.hpp"
+#include "sim/ocm.hpp"
+#include "sim/voltage_regulator.hpp"
+
+namespace {
+
+using namespace pv;
+
+const plugvolt::SafeStateMap& comet_map() {
+    static const plugvolt::SafeStateMap map =
+        bench::characterize(sim::cometlake_i7_10510u(), Millivolts{5.0});
+    return map;
+}
+
+void BM_OcmEncode(benchmark::State& state) {
+    double mv = -1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim::encode_offset(Millivolts{mv}, sim::VoltagePlane::Core));
+        mv = mv <= -300.0 ? -1.0 : mv - 1.0;
+    }
+}
+BENCHMARK(BM_OcmEncode);
+
+void BM_OcmDecode(benchmark::State& state) {
+    const std::uint64_t raw = sim::encode_offset(Millivolts{-123.0}, sim::VoltagePlane::Core);
+    for (auto _ : state) benchmark::DoNotOptimize(sim::decode_offset(raw));
+}
+BENCHMARK(BM_OcmDecode);
+
+void BM_SafeStateClassify(benchmark::State& state) {
+    const auto& map = comet_map();
+    double ghz = 0.4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.classify(from_ghz(ghz), Millivolts{-150.0}));
+        ghz = ghz >= 4.9 ? 0.4 : ghz + 0.1;
+    }
+}
+BENCHMARK(BM_SafeStateClassify);
+
+void BM_MaximalSafeOffset(benchmark::State& state) {
+    const auto& map = comet_map();
+    for (auto _ : state) benchmark::DoNotOptimize(map.maximal_safe_offset());
+}
+BENCHMARK(BM_MaximalSafeOffset);
+
+void BM_RegulatorRampEval(benchmark::State& state) {
+    sim::VoltageRegulator reg(
+        {.write_latency = microseconds(150.0), .slew_mv_per_us = 1.0});
+    reg.write(sim::VoltagePlane::Core, Millivolts{-200.0}, Picoseconds{0});
+    std::int64_t t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.offset_at(sim::VoltagePlane::Core, Picoseconds{t}));
+        t = (t + 1'000'000) % 400'000'000;
+    }
+}
+BENCHMARK(BM_RegulatorRampEval);
+
+void BM_FaultProbability(benchmark::State& state) {
+    const auto profile = sim::cometlake_i7_10510u();
+    const sim::FaultModel model(sim::TimingModel{profile.timing}, profile.vf_curve());
+    double mv = 700.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.fault_probability(from_ghz(2.0), Millivolts{mv}, sim::InstrClass::Imul));
+        mv = mv >= 900.0 ? 700.0 : mv + 1.0;
+    }
+}
+BENCHMARK(BM_FaultProbability);
+
+void BM_MachineRunBatch1M(benchmark::State& state) {
+    sim::Machine machine(sim::cometlake_i7_10510u(), 1);
+    machine.set_all_frequencies(from_ghz(2.0));
+    machine.advance_to(machine.rail_settle_time());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(machine.run_batch(1, sim::InstrClass::Imul, 1'000'000));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1'000'000);
+}
+BENCHMARK(BM_MachineRunBatch1M);
+
+void BM_MsrReadPerfStatus(benchmark::State& state) {
+    sim::Machine machine(sim::cometlake_i7_10510u(), 1);
+    for (auto _ : state) benchmark::DoNotOptimize(machine.read_msr(0, sim::kMsrPerfStatus));
+}
+BENCHMARK(BM_MsrReadPerfStatus);
+
+void BM_ThermalDelayScale(benchmark::State& state) {
+    sim::ThermalModel model(sim::cometlake_i7_10510u().thermal);
+    model.force_temperature(67.0);
+    for (auto _ : state) benchmark::DoNotOptimize(model.delay_scale());
+}
+BENCHMARK(BM_ThermalDelayScale);
+
+void BM_PlaneVoltage(benchmark::State& state) {
+    sim::Machine machine(sim::cometlake_i7_10510u(), 1);
+    machine.write_msr(0, sim::kMsrOcMailbox,
+                      sim::encode_offset(Millivolts{-60.0}, sim::VoltagePlane::Cache));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(machine.plane_voltage(sim::VoltagePlane::Cache));
+}
+BENCHMARK(BM_PlaneVoltage);
+
+void BM_PollBody(benchmark::State& state) {
+    // One full poll iteration (what the kthread pays every interval),
+    // including the rail watchdog path.
+    sim::Machine machine(sim::cometlake_i7_10510u(), 1);
+    os::Kernel kernel(machine);
+    plugvolt::PollingConfig config;
+    config.interval = milliseconds(1000.0);  // fire manually below
+    config.watch_measured_rail = true;
+    config.nominal_rail = machine.profile().vf_curve();
+    auto module = std::make_shared<plugvolt::PollingModule>(comet_map(), config);
+    kernel.load_module(module);
+    std::int64_t t = machine.now().value();
+    for (auto _ : state) {
+        t += 1'000'000'000;  // 1 ms: exactly one wakeup per core
+        machine.advance_to(Picoseconds{t});
+    }
+    benchmark::DoNotOptimize(module->metrics().polls);
+}
+BENCHMARK(BM_PollBody);
+
+void BM_CharacterizeCell(benchmark::State& state) {
+    sim::Machine machine(sim::cometlake_i7_10510u(), 1);
+    os::Kernel kernel(machine);
+    plugvolt::Characterizer chr(kernel, {});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chr.test_cell(from_ghz(2.0), Millivolts{-50.0}));
+    }
+}
+BENCHMARK(BM_CharacterizeCell);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// PlugVolt — attack framework.
+//
+// Every published DVFS fault attack follows the same skeleton the paper
+// root-causes in Sec. 3: drive the (frequency, voltage) pair into an
+// unsafe state, catch a wrong result in a victim computation, weaponize
+// it.  The Attack interface lets the matrix bench pit each
+// implementation against each defense configuration symmetrically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "os/kernel.hpp"
+#include "util/units.hpp"
+
+namespace pv::attack {
+
+/// Outcome of one attack campaign.
+struct AttackResult {
+    std::string attack_name;
+    std::uint64_t faults_observed = 0;  ///< wrong results seen by the attacker
+    bool weaponized = false;            ///< attacker extracted something useful
+    std::string weaponization;          ///< what was extracted (human-readable)
+    unsigned crashes = 0;               ///< machine crashes the campaign caused
+    std::uint64_t writes_attempted = 0; ///< OCM writes the attacker issued
+    std::uint64_t writes_effective = 0; ///< ... that were not blocked/ignored
+    Picoseconds started{};
+    Picoseconds finished{};
+    std::string notes;
+};
+
+/// A runnable attack campaign against a live kernel.
+class Attack {
+public:
+    virtual ~Attack() = default;
+    [[nodiscard]] virtual std::string_view name() const = 0;
+
+    /// Run the full campaign.  The attack is privileged: it may use the
+    /// userspace MSR path, cpufreq, and module loading — everything the
+    /// paper's threat model grants (Sec. 4.1).
+    [[nodiscard]] virtual AttackResult run(os::Kernel& kernel) = 0;
+};
+
+}  // namespace pv::attack

@@ -1,0 +1,59 @@
+// PlugVolt — Plundervolt (Murdock et al., S&P 2020) reimplementation.
+//
+// The attack that started the OCM arms race: pin a frequency, walk the
+// 0x150 undervolt offset down until multiplications start faulting, then
+// point the fault at an RSA-CRT signer and factor the modulus with one
+// Bellcore gcd.  This implementation follows the published PoC's phases:
+//   1. offset scan with an imul probe loop;
+//   2. weaponization against a CRT signer at the faulting offset.
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "workload/crypto/rsa_crt.hpp"
+
+namespace pv::attack {
+
+/// Campaign parameters (defaults follow the published PoC's shape).
+struct PlundervoltConfig {
+    /// Frequency pinned during the attack; 0 = the profile's maximum
+    /// (where undervolt headroom is smallest and faults come earliest).
+    Megahertz pin_freq{0.0};
+    Millivolts scan_start{-100.0};       ///< first probed offset
+    Millivolts scan_step{2.0};           ///< scan resolution
+    Millivolts scan_floor{-300.0};       ///< give up below this
+    std::uint64_t probe_ops = 100'000;   ///< imul iterations per probe
+    unsigned attacker_core = 0;
+    unsigned victim_core = 1;
+    unsigned max_crashes = 2;            ///< reboots tolerated before giving up
+    unsigned max_signatures = 400;       ///< CRT signatures requested in phase 2
+    /// Voltage plane attacked.  Core is the published PoC; Cache faults
+    /// the load path instead (VoltPillager's second target) — a defense
+    /// that only watches the core plane is blind to it.
+    sim::VoltagePlane plane = sim::VoltagePlane::Core;
+    /// Extra depth past the first faulting offset used while weaponizing
+    /// (the published PoC also dials in a reliable fault rate first).
+    Millivolts weaponize_extra_depth{6.0};
+    std::uint64_t rng_seed = 0x9e3779b9;
+};
+
+/// The Plundervolt campaign.
+class Plundervolt final : public Attack {
+public:
+    explicit Plundervolt(PlundervoltConfig config = {});
+
+    [[nodiscard]] std::string_view name() const override { return "plundervolt"; }
+    [[nodiscard]] AttackResult run(os::Kernel& kernel) override;
+
+    /// Offset the scan settled on (0 when no faults were ever observed).
+    [[nodiscard]] Millivolts found_offset() const { return found_offset_; }
+
+private:
+    /// Probe one offset; returns observed fault count (0 on blocked writes).
+    [[nodiscard]] std::uint64_t probe(os::Kernel& kernel, Millivolts offset,
+                                      AttackResult& result);
+
+    PlundervoltConfig config_;
+    Millivolts found_offset_{};
+};
+
+}  // namespace pv::attack

@@ -1,0 +1,60 @@
+// PlugVolt — V0LTpwn-style enclave-targeted attack (Kenjar et al.,
+// USENIX Security 2020), with SGX-Step instruction isolation.
+//
+// The attack undervolts while a victim *enclave* computes, and uses
+// single-stepping to isolate the faultable instruction.  With
+// zero-stepping the adversary suppresses everything after the faulted
+// multiply — including any Minefield trap the compiler placed behind it —
+// and exfiltrates the corrupted state.  This is exactly the scenario the
+// paper uses to argue trap-deflection defenses are not self-sufficient
+// (Sec. 4.1) while the PlugVolt countermeasure, acting on the platform
+// state rather than the enclave, does not care about stepping at all.
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "sgx/runtime.hpp"
+#include "sgx/sgx_step.hpp"
+
+namespace pv::attack {
+
+/// Campaign parameters.
+struct V0ltpwnConfig {
+    Megahertz pin_freq{0.0};  ///< 0 = profile maximum
+    Millivolts scan_start{-100.0};
+    Millivolts scan_step{2.0};
+    Millivolts scan_floor{-300.0};
+    unsigned attacker_core = 0;
+    unsigned victim_core = 1;
+    unsigned max_crashes = 2;
+    /// Enclave entries attempted per offset.
+    unsigned runs_per_offset = 40;
+    /// Attach an SGX-Step adversary (single-step + zero-step).
+    bool use_sgx_step = true;
+    /// Victim program (typically a mul chain, possibly Minefield-
+    /// instrumented by an active defense); must not be empty.
+    sgx::Program victim_program;
+    /// Instruction index after which the stepper suppresses progress
+    /// (set to the last multiply so traps behind it never execute).
+    std::size_t suppress_after_index = 0;
+    /// Register holding the targeted product.
+    unsigned target_reg = 2;
+};
+
+/// The V0LTpwn campaign.
+class V0ltpwn final : public Attack {
+public:
+    V0ltpwn(sgx::SgxRuntime& runtime, V0ltpwnConfig config);
+
+    [[nodiscard]] std::string_view name() const override { return "v0ltpwn"; }
+    [[nodiscard]] AttackResult run(os::Kernel& kernel) override;
+
+    /// Trap detections the victim's instrumentation scored against us.
+    [[nodiscard]] std::uint64_t trap_detections() const { return trap_detections_; }
+
+private:
+    sgx::SgxRuntime& runtime_;
+    V0ltpwnConfig config_;
+    std::uint64_t trap_detections_ = 0;
+};
+
+}  // namespace pv::attack

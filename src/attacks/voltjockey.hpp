@@ -1,0 +1,80 @@
+// PlugVolt — VoltJockey-style frequency/voltage combination attack
+// (Qiu et al., CCS 2019, transplanted to the Intel OCM interface).
+//
+// Instead of undervolting into the unsafe band directly (which a polling
+// defense sees as an unsafe *command*), VoltJockey parks an offset that
+// is perfectly safe at a low frequency and then RAISES the frequency so
+// the (f, V) pair crosses into the unsafe region.  The race is against
+// the PCU's voltage-first P-state sequencing and the defense's poll.
+//
+// Two variants:
+//  - big-jump (default): low P-state -> turbo; the long rail ramp gives a
+//    polling defense time to cancel the raise (it loses the race);
+//  - precise-step: the attacker uses its own characterization map to park
+//    an offset inside the *adjacent* frequency bin's unsafe band and
+//    raises by one 100 MHz step; the rail ramp is only a few us, which
+//    undercuts any realistic poll interval.  This is the residual race
+//    that motivates the paper's maximal-safe-state deployments.
+#pragma once
+
+#include <optional>
+
+#include "attacks/attack.hpp"
+#include "plugvolt/safe_state.hpp"
+
+namespace pv::attack {
+
+/// Campaign parameters.
+struct VoltJockeyConfig {
+    Megahertz low_freq = from_ghz(1.2);
+    /// Raise target; 0 MHz = the profile's maximum.
+    Megahertz high_freq{0.0};
+    Millivolts scan_start{-60.0};
+    Millivolts scan_step{2.0};
+    Millivolts scan_floor{-300.0};
+    std::uint64_t probe_ops = 100'000;
+    unsigned attacker_core = 0;
+    unsigned victim_core = 1;
+    unsigned max_crashes = 2;
+    /// Precise-step variant driven by the attacker's own map.
+    bool precise_step = false;
+    /// Descending-rail variant: exploit the PCU's instant switch when a
+    /// raise is requested while the rail is still high from a previous
+    /// P-state — drop frequency, park a deep offset, and re-raise within
+    /// one poll interval.  The rail then sags through the unsafe band at
+    /// the high frequency before any software can react.  Needs the
+    /// attacker map.  Overrides precise_step.
+    bool descending_rail = false;
+    /// Guard band the attacker assumes the defender's polling module
+    /// uses (public default + hysteresis): parked offsets must look safe
+    /// even through that margin, or the module restores them before the
+    /// frequency hop.  A 1-bin hop window is usually narrower than the
+    /// guard, so the attacker also tries multi-bin hops.
+    Millivolts assumed_defender_guard{16.0};
+    unsigned max_hop_bins = 5;
+};
+
+/// The VoltJockey campaign.  For the precise-step variant the attacker
+/// supplies its own safe-state characterization (the paper's point: the
+/// search space is open to adversaries too).
+class VoltJockey final : public Attack {
+public:
+    explicit VoltJockey(VoltJockeyConfig config = {},
+                        std::optional<plugvolt::SafeStateMap> attacker_map = std::nullopt);
+
+    [[nodiscard]] std::string_view name() const override {
+        if (config_.descending_rail) return "voltjockey-descending";
+        return config_.precise_step ? "voltjockey-precise" : "voltjockey";
+    }
+    [[nodiscard]] AttackResult run(os::Kernel& kernel) override;
+
+private:
+    [[nodiscard]] std::uint64_t attempt(os::Kernel& kernel, Megahertz f_lo, Megahertz f_hi,
+                                        Millivolts offset, AttackResult& result);
+    void run_descending_rail(os::Kernel& kernel, AttackResult& result);
+
+    VoltJockeyConfig config_;
+    std::optional<plugvolt::SafeStateMap> attacker_map_;
+};
+
+}  // namespace pv::attack

@@ -1,0 +1,43 @@
+// PlugVolt — VoltPillager (Chen et al., USENIX Security 2021).
+//
+// The hardware escalation of Plundervolt: a microcontroller soldered to
+// the SVID bus injects voltage commands directly into the regulator,
+// bypassing MSR 0x150 entirely.  Software that watches only the
+// *commanded* offset is structurally blind — the mailbox reads back a
+// clean 0 mV while the rail physically sags.  The paper cites this
+// attack [6] and scopes its countermeasure to software adversaries; we
+// implement it to map that boundary precisely, and to evaluate the one
+// lever software still has: the measured-voltage watchdog (0x198's
+// voltage field) combined with the instant frequency drop.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace pv::attack {
+
+/// Campaign parameters.
+struct VoltPillagerConfig {
+    Megahertz pin_freq{0.0};             ///< 0 = profile maximum
+    Millivolts scan_start{-60.0};
+    Millivolts scan_step{4.0};
+    Millivolts scan_floor{-300.0};
+    std::uint64_t probe_ops = 100'000;
+    unsigned victim_core = 1;
+    unsigned max_crashes = 3;
+};
+
+/// The hardware injection campaign.  Unlike every other attack here it
+/// does not go through the MSR surface at all: it drives the regulator
+/// the way a bus interposer does.
+class VoltPillager final : public Attack {
+public:
+    explicit VoltPillager(VoltPillagerConfig config = {});
+
+    [[nodiscard]] std::string_view name() const override { return "voltpillager"; }
+    [[nodiscard]] AttackResult run(os::Kernel& kernel) override;
+
+private:
+    VoltPillagerConfig config_;
+};
+
+}  // namespace pv::attack

@@ -1,0 +1,33 @@
+#include "defenses/access_control.hpp"
+
+#include "sim/ocm.hpp"
+
+namespace pv::defense {
+
+AccessControl::AccessControl(sim::Machine& machine, sgx::SgxRuntime& runtime)
+    : machine_(machine), runtime_(runtime) {}
+
+AccessControl::~AccessControl() { uninstall(); }
+
+void AccessControl::install() {
+    if (token_) return;
+    token_ = machine_.add_write_hook(
+        [this](unsigned, std::uint32_t addr, std::uint64_t&) {
+            if (addr != sim::kMsrOcMailbox) return sim::MsrWriteAction::Allow;
+            if (runtime_.any_enclave_loaded()) {
+                ++blocked_;
+                return sim::MsrWriteAction::Ignore;
+            }
+            return sim::MsrWriteAction::Allow;
+        });
+    runtime_.set_ocm_disabled_bit(true);
+}
+
+void AccessControl::uninstall() {
+    if (!token_) return;
+    machine_.remove_write_hook(*token_);
+    token_.reset();
+    runtime_.set_ocm_disabled_bit(false);
+}
+
+}  // namespace pv::defense

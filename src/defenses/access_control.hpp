@@ -1,0 +1,43 @@
+// PlugVolt — Intel SA-00289-style access-control baseline.
+//
+// Intel's microcode response to Plundervolt: while an SGX context exists
+// on the platform, the overclocking mailbox is disabled, and the
+// disabled status is included in attestation so clients can refuse
+// unpatched platforms.  Effective — but it denies DVFS to *every* benign
+// non-SGX process whenever any enclave is loaded, which is the
+// restrictiveness the paper's countermeasure removes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sgx/runtime.hpp"
+#include "sim/machine.hpp"
+
+namespace pv::defense {
+
+/// The access-control patch: OCM writes are write-ignored while any
+/// enclave is loaded; the attestation OCM-disabled bit is set.
+class AccessControl {
+public:
+    AccessControl(sim::Machine& machine, sgx::SgxRuntime& runtime);
+    ~AccessControl();
+
+    AccessControl(const AccessControl&) = delete;
+    AccessControl& operator=(const AccessControl&) = delete;
+
+    void install();
+    void uninstall();
+    [[nodiscard]] bool installed() const { return token_.has_value(); }
+
+    /// OCM writes the patch blocked (benign and malicious alike).
+    [[nodiscard]] std::uint64_t blocked_writes() const { return blocked_; }
+
+private:
+    sim::Machine& machine_;
+    sgx::SgxRuntime& runtime_;
+    std::optional<std::size_t> token_;
+    std::uint64_t blocked_ = 0;
+};
+
+}  // namespace pv::defense

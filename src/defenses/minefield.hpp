@@ -1,0 +1,49 @@
+// PlugVolt — Minefield-style trap-deflection baseline (Kogler et al.,
+// USENIX Security 2022).
+//
+// A compiler pass that plants consistency checks ("mines") behind
+// faultable instructions inside the enclave: a faulted multiply trips
+// the recomputation check and the enclave aborts before the attacker
+// can use anything.  The paper's critique (Sec. 4.1): the trap executes
+// *after* the target instruction, so an SGX-Step adversary that
+// single-steps to the multiply and then zero-steps never lets the trap
+// run — Minefield is only sound if stepping is prevented by third-party
+// means.  Both the pass and its overhead accounting live here.
+#pragma once
+
+#include <cstddef>
+
+#include "sgx/program.hpp"
+
+namespace pv::defense {
+
+/// Instrumentation statistics of one pass run.
+struct MinefieldStats {
+    std::size_t original_instructions = 0;
+    std::size_t traps_inserted = 0;
+    /// Static size overhead = traps / original.
+    [[nodiscard]] double overhead() const {
+        return original_instructions == 0
+                   ? 0.0
+                   : static_cast<double>(traps_inserted) /
+                         static_cast<double>(original_instructions);
+    }
+};
+
+/// The Minefield compiler pass.
+class Minefield {
+public:
+    /// Instrument `program`: after every non-trap multiply, insert a
+    /// recomputation trap over the same operands.  Multiplies whose
+    /// destination aliases an input cannot be re-checked and are left
+    /// uninstrumented (same limitation as register-pressure cases in the
+    /// real pass).
+    [[nodiscard]] sgx::Program instrument(const sgx::Program& program);
+
+    [[nodiscard]] const MinefieldStats& stats() const { return stats_; }
+
+private:
+    MinefieldStats stats_;
+};
+
+}  // namespace pv::defense

@@ -1,0 +1,66 @@
+// PlugVolt — cpufreq subsystem (Linux "CPU performance scaling").
+//
+// Models the scaling-driver/governor split the paper's background
+// section describes: governors pick a target frequency inside per-policy
+// [min, max] limits; the driver writes IA32_PERF_CTL.  Note what the
+// subsystem deliberately does NOT expose — operating voltage.  Voltage
+// moves only through the OCM (MSR 0x150), which is the causal
+// independence the paper's root-cause analysis hinges on.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "util/units.hpp"
+
+namespace pv::os {
+
+/// The standard governor set (schedutil folded into Ondemand here: both
+/// are load-followers, and the distinction is irrelevant to DVFS faults).
+enum class Governor { Performance, Powersave, Userspace, Ondemand };
+
+[[nodiscard]] std::string_view to_string(Governor g);
+
+/// Per-CPU frequency scaling policies on top of a Machine.
+class Cpufreq {
+public:
+    explicit Cpufreq(sim::Machine& machine);
+
+    /// The scaling_available_frequencies table.
+    [[nodiscard]] std::vector<Megahertz> available_frequencies() const;
+
+    void set_governor(unsigned cpu, Governor g);
+    [[nodiscard]] Governor governor(unsigned cpu) const;
+
+    /// Tighten or widen a policy's [min, max]; clamped to hardware range.
+    void set_policy_limits(unsigned cpu, Megahertz lo, Megahertz hi);
+    [[nodiscard]] Megahertz policy_min(unsigned cpu) const;
+    [[nodiscard]] Megahertz policy_max(unsigned cpu) const;
+
+    /// scaling_setspeed: only honoured under the Userspace governor
+    /// (throws ConfigError otherwise, like the sysfs file returns EINVAL).
+    void set_userspace_frequency(unsigned cpu, Megahertz f);
+
+    /// Feed a utilization sample in [0,1] to a load-following governor;
+    /// Ondemand jumps to max above 80% load and scales down proportionally
+    /// below, mirroring the upstream governor's up-threshold behaviour.
+    void report_load(unsigned cpu, double utilization);
+
+    [[nodiscard]] Megahertz current(unsigned cpu) const;
+
+private:
+    struct Policy {
+        Governor gov = Governor::Ondemand;
+        Megahertz min{};
+        Megahertz max{};
+    };
+
+    void apply(unsigned cpu, Megahertz target);
+    [[nodiscard]] const Policy& policy(unsigned cpu) const;
+
+    sim::Machine& machine_;
+    std::vector<Policy> policies_;
+};
+
+}  // namespace pv::os

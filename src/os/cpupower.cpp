@@ -1,0 +1,30 @@
+#include "os/cpupower.hpp"
+
+#include "util/error.hpp"
+
+namespace pv::os {
+
+Cpupower::Cpupower(Cpufreq& cpufreq, unsigned cpu_count)
+    : cpufreq_(cpufreq), cpu_count_(cpu_count) {
+    if (cpu_count_ == 0) throw ConfigError("cpupower: zero cpus");
+}
+
+void Cpupower::frequency_set(Megahertz f) {
+    for (unsigned cpu = 0; cpu < cpu_count_; ++cpu) frequency_set(cpu, f);
+}
+
+void Cpupower::frequency_set(unsigned cpu, Megahertz f) {
+    cpufreq_.set_governor(cpu, Governor::Userspace);
+    cpufreq_.set_userspace_frequency(cpu, f);
+}
+
+Cpupower::Info Cpupower::frequency_info(unsigned cpu) const {
+    return Info{
+        .governor = cpufreq_.governor(cpu),
+        .current = cpufreq_.current(cpu),
+        .hw_min = cpufreq_.policy_min(cpu),
+        .hw_max = cpufreq_.policy_max(cpu),
+    };
+}
+
+}  // namespace pv::os

@@ -1,0 +1,38 @@
+// PlugVolt — the `cpupower` utility facade.
+//
+// The paper's Algorithm 2 sets test frequencies with the cpupower Linux
+// utility; this facade reproduces its observable behaviour: `cpupower
+// frequency-set -f X` pins every CPU to X by switching the policy to the
+// userspace governor.
+#pragma once
+
+#include "os/cpufreq.hpp"
+
+namespace pv::os {
+
+/// Minimal model of `cpupower frequency-set` / `frequency-info`.
+class Cpupower {
+public:
+    explicit Cpupower(Cpufreq& cpufreq, unsigned cpu_count);
+
+    /// `cpupower frequency-set -f <f>`: all CPUs, userspace governor.
+    void frequency_set(Megahertz f);
+
+    /// `cpupower -c <cpu> frequency-set -f <f>`.
+    void frequency_set(unsigned cpu, Megahertz f);
+
+    /// `cpupower frequency-info` essentials for one CPU.
+    struct Info {
+        Governor governor;
+        Megahertz current;
+        Megahertz hw_min;
+        Megahertz hw_max;
+    };
+    [[nodiscard]] Info frequency_info(unsigned cpu) const;
+
+private:
+    Cpufreq& cpufreq_;
+    unsigned cpu_count_;
+};
+
+}  // namespace pv::os

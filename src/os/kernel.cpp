@@ -1,0 +1,85 @@
+#include "os/kernel.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pv::os {
+
+Kernel::Kernel(sim::Machine& machine)
+    : machine_(machine), msr_(machine), cpufreq_(machine) {
+    machine_.on_reset([this] { on_machine_reset(); });
+}
+
+KthreadId Kernel::start_kthread(KthreadOptions options, KthreadBody body) {
+    if (options.period <= Picoseconds{0})
+        throw ConfigError("kthread period must be positive");
+    if (options.cpu >= machine_.core_count())
+        throw ConfigError("kthread pinned to nonexistent cpu");
+    const KthreadId id = next_id_++;
+    kthreads_.emplace(id, Kthread{std::move(options), std::move(body), true});
+    arm(id, machine_.now() + kthreads_.at(id).options.period);
+    return id;
+}
+
+void Kernel::arm(KthreadId id, Picoseconds first_wake) {
+    machine_.events().schedule(first_wake, [this, id] {
+        const auto it = kthreads_.find(id);
+        if (it == kthreads_.end() || !it->second.running) return;
+        const Kthread& kt = it->second;
+        // A timer firing on an idle core wakes it first (exit latency is
+        // charged inside wake_core).
+        if (machine_.core(kt.options.cpu).cstate() != sim::CState::C0)
+            machine_.wake_core(kt.options.cpu);
+        machine_.add_steal(kt.options.cpu,
+                           Cycles{machine_.profile().costs.kthread_wake_cycles});
+        kt.body(*this);
+        // The body may have stopped this kthread (or the machine may
+        // have crashed; the event queue is cleared on reboot anyway).
+        const auto again = kthreads_.find(id);
+        if (again != kthreads_.end() && again->second.running)
+            arm(id, machine_.now() + again->second.options.period);
+    });
+}
+
+void Kernel::stop_kthread(KthreadId id) { kthreads_.erase(id); }
+
+bool Kernel::kthread_running(KthreadId id) const { return kthreads_.contains(id); }
+
+void Kernel::on_machine_reset() {
+    // Reboot cleared the event queue; re-arm every running kthread.
+    for (const auto& [id, kt] : kthreads_) {
+        if (kt.running) arm(id, machine_.now() + kt.options.period);
+    }
+}
+
+bool Kernel::load_module(std::shared_ptr<KernelModule> module) {
+    if (!module) throw ConfigError("load_module(nullptr)");
+    if (module_loaded(module->name())) return false;
+    modules_.push_back(module);
+    module->init(*this);
+    return true;
+}
+
+bool Kernel::unload_module(std::string_view name) {
+    const auto it = std::find_if(modules_.begin(), modules_.end(),
+                                 [&](const auto& m) { return m->name() == name; });
+    if (it == modules_.end()) return false;
+    (*it)->exit(*this);
+    modules_.erase(it);
+    return true;
+}
+
+bool Kernel::module_loaded(std::string_view name) const {
+    return std::any_of(modules_.begin(), modules_.end(),
+                       [&](const auto& m) { return m->name() == name; });
+}
+
+std::vector<std::string> Kernel::lsmod() const {
+    std::vector<std::string> names;
+    names.reserve(modules_.size());
+    for (const auto& m : modules_) names.emplace_back(m->name());
+    return names;
+}
+
+}  // namespace pv::os

@@ -1,0 +1,45 @@
+#include "os/msr_driver.hpp"
+
+namespace pv::os {
+
+MsrDriver::MsrDriver(sim::Machine& machine) : machine_(machine) {}
+
+void MsrDriver::charge(unsigned cpu, std::uint64_t cycles) {
+    total_cycles_ += cycles;
+    machine_.add_steal(cpu, Cycles{cycles});
+}
+
+Cycles MsrDriver::read_cost(bool remote) const {
+    const auto& c = machine_.profile().costs;
+    return Cycles{c.rdmsr_cycles + (remote ? c.ipi_cycles : 0)};
+}
+
+Cycles MsrDriver::write_cost(bool remote) const {
+    const auto& c = machine_.profile().costs;
+    return Cycles{c.wrmsr_cycles + (remote ? c.ipi_cycles : 0)};
+}
+
+std::uint64_t MsrDriver::rdmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr) {
+    charge(caller_cpu, read_cost(caller_cpu != target_cpu).value());
+    return machine_.read_msr(target_cpu, addr);
+}
+
+bool MsrDriver::wrmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
+                      std::uint64_t value) {
+    charge(caller_cpu, write_cost(caller_cpu != target_cpu).value());
+    return machine_.write_msr(target_cpu, addr, value);
+}
+
+std::uint64_t MsrDriver::ioctl_rdmsr(unsigned caller_cpu, unsigned target_cpu,
+                                     std::uint32_t addr) {
+    charge(caller_cpu, machine_.profile().costs.ioctl_overhead_cycles);
+    return rdmsr(caller_cpu, target_cpu, addr);
+}
+
+bool MsrDriver::ioctl_wrmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
+                            std::uint64_t value) {
+    charge(caller_cpu, machine_.profile().costs.ioctl_overhead_cycles);
+    return wrmsr(caller_cpu, target_cpu, addr, value);
+}
+
+}  // namespace pv::os

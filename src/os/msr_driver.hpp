@@ -1,0 +1,55 @@
+// PlugVolt — kernel MSR driver (the /dev/cpu/*/msr path).
+//
+// Every MSR access in the real countermeasure costs time: the rdmsr/
+// wrmsr instruction itself, a cross-core IPI when the target MSR lives
+// on another CPU, and (from userspace) the ioctl transition.  Those
+// prices are the first of the paper's two turnaround-time contributors
+// (Sec. 5), and they are also what the Table 2 overhead is made of —
+// so the driver charges them to the calling core as stolen cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cpu_profile.hpp"
+#include "sim/machine.hpp"
+
+namespace pv::os {
+
+/// Kernel- and user-context MSR access with cycle accounting.
+class MsrDriver {
+public:
+    explicit MsrDriver(sim::Machine& machine);
+
+    /// Kernel-context rdmsr of `target_cpu`'s MSR from `caller_cpu`.
+    /// Remote targets pay the IPI price (smp_call_function_single).
+    [[nodiscard]] std::uint64_t rdmsr(unsigned caller_cpu, unsigned target_cpu,
+                                      std::uint32_t addr);
+
+    /// Kernel-context wrmsr; returns false if a write hook ignored it.
+    bool wrmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
+               std::uint64_t value);
+
+    /// Userspace path (open /dev/cpu/N/msr + ioctl): same access plus the
+    /// user->kernel transition overhead.  This is what the published
+    /// attack PoCs use.
+    [[nodiscard]] std::uint64_t ioctl_rdmsr(unsigned caller_cpu, unsigned target_cpu,
+                                            std::uint32_t addr);
+    bool ioctl_wrmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
+                     std::uint64_t value);
+
+    /// Cycle cost of a single kernel-context read/write for planning
+    /// (e.g. the turnaround decomposition bench).
+    [[nodiscard]] Cycles read_cost(bool remote) const;
+    [[nodiscard]] Cycles write_cost(bool remote) const;
+
+    /// Total cycles this driver has charged since construction.
+    [[nodiscard]] std::uint64_t total_cost_cycles() const { return total_cycles_; }
+
+private:
+    void charge(unsigned cpu, std::uint64_t cycles);
+
+    sim::Machine& machine_;
+    std::uint64_t total_cycles_ = 0;
+};
+
+}  // namespace pv::os

@@ -1,0 +1,110 @@
+#include "plugvolt/characterizer.hpp"
+
+#include <cmath>
+
+#include "sim/ocm.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace pv::plugvolt {
+
+Characterizer::Characterizer(os::Kernel& kernel, CharacterizerConfig config)
+    : kernel_(kernel),
+      cpupower_(kernel.cpufreq(), kernel.machine().core_count()),
+      config_(config) {
+    if (config_.sweep_floor >= Millivolts{0.0})
+        throw ConfigError("sweep floor must be negative");
+    if (config_.offset_step <= Millivolts{0.0})
+        throw ConfigError("offset step must be positive");
+    if (config_.dvfs_core == config_.execute_core)
+        throw ConfigError("DVFS and EXECUTE threads need distinct cores");
+    const unsigned cores = kernel.machine().core_count();
+    if (config_.dvfs_core >= cores || config_.execute_core >= cores)
+        throw ConfigError("characterizer core out of range");
+}
+
+CellResult Characterizer::test_cell(Megahertz f, Millivolts offset) {
+    sim::Machine& m = kernel_.machine();
+    if (m.crashed()) return {0, true};
+
+    // DVFS thread, step 1: pin every core to the test frequency
+    // (cpupower frequency-set, as in Algo. 2 line 9).
+    cpupower_.frequency_set(f);
+    if (m.crashed()) return {0, true};
+
+    // DVFS thread, step 2: command the undervolt through the userspace
+    // msr-tools path (Algo. 1 encoding + ioctl wrmsr to 0x150).
+    const std::uint64_t raw = sim::encode_offset(offset, sim::VoltagePlane::Core);
+    kernel_.msr().ioctl_wrmsr(config_.dvfs_core, config_.dvfs_core, sim::kMsrOcMailbox, raw);
+
+    // Let the rails settle (offset ramp and any pending P-state raise).
+    const Picoseconds settle = m.rail_settle_time();
+    if (settle > m.now()) m.advance_to(settle);
+    if (m.crashed()) return {0, true};
+
+    // EXECUTE thread: the tight loop with varying operands (Algo. 2
+    // runs it concurrently and non-blocking; the discrete-event clock
+    // gives the same interleaving with the rail already settled).
+    if (config_.die_preheat_c > 0.0) m.set_die_temperature(config_.die_preheat_c);
+    const sim::BatchResult batch =
+        m.run_batch(config_.execute_core, config_.instr_class, config_.ops_per_cell);
+
+    // DVFS thread, step 3: restore nominal voltage (Algo. 2 lines 13-14).
+    if (!m.crashed()) {
+        const std::uint64_t zero =
+            sim::encode_offset(Millivolts{0.0}, sim::VoltagePlane::Core);
+        kernel_.msr().ioctl_wrmsr(config_.dvfs_core, config_.dvfs_core, sim::kMsrOcMailbox,
+                                  zero);
+        const Picoseconds restore = m.rail_settle_time();
+        if (restore > m.now()) m.advance_to(restore);
+    }
+    return {batch.faults, m.crashed()};
+}
+
+SafeStateMap Characterizer::characterize(
+    const std::function<void(const FreqCharacterization&)>& progress) {
+    sim::Machine& m = kernel_.machine();
+    SafeStateMap map(m.profile().name, config_.sweep_floor);
+    crash_count_ = 0;
+
+    const auto steps = static_cast<std::uint64_t>(
+        std::floor(-config_.sweep_floor.value() / config_.offset_step.value()));
+
+    for (const Megahertz f : m.profile().frequency_table()) {
+        FreqCharacterization row{
+            .freq = f,
+            .onset = Millivolts{0.0},
+            // "no crash reached" sentinel: one step below the sweep floor
+            // so nothing inside the sweep classifies as Crash.
+            .crash = config_.sweep_floor - config_.offset_step,
+            .fault_free = true,
+        };
+        for (std::uint64_t s = 1; s <= steps; ++s) {
+            const Millivolts offset =
+                Millivolts{-static_cast<double>(s) * config_.offset_step.value()};
+            const CellResult cell = test_cell(f, offset);
+            if (cell.crashed) {
+                row.crash = offset;
+                if (row.fault_free) row.onset = offset;  // band narrower than the step
+                row.fault_free = false;
+                ++crash_count_;
+                m.reboot();
+                break;
+            }
+            if (cell.faults > 0 && row.fault_free) {
+                row.onset = offset;
+                row.fault_free = false;
+            }
+        }
+        map.add(row);
+        if (progress) progress(row);
+        log_debug("characterized f=", f.value(), " MHz onset=", row.onset.value(),
+                  " crash=", row.crash.value(), " fault_free=", row.fault_free);
+    }
+
+    // Leave the machine at its boot frequency, nominal voltage.
+    cpupower_.frequency_set(m.profile().freq_base);
+    return map;
+}
+
+}  // namespace pv::plugvolt

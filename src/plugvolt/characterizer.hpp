@@ -1,0 +1,74 @@
+// PlugVolt — empirical safe/unsafe characterization (Sec. 4.2, Algo. 2).
+//
+// Reproduces the paper's two-thread framework: a DVFS thread that walks
+// the Cartesian product of table frequencies and negative offsets
+// (written to MSR 0x150 through the userspace msr-tools path), and an
+// EXECUTE thread running 10^6 imul iterations per cell.  Cells with
+// wrong products are unsafe; each frequency column is pushed deeper
+// until the machine crashes (then rebooted), exactly like the paper's
+// sweep, producing the data behind Figs. 2-4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "os/cpupower.hpp"
+#include "os/kernel.hpp"
+#include "plugvolt/safe_state.hpp"
+
+namespace pv::plugvolt {
+
+/// Sweep parameters (defaults are the paper's).
+struct CharacterizerConfig {
+    Millivolts sweep_floor{-300.0};   ///< deepest offset tried (paper: -300 mV)
+    Millivolts offset_step{1.0};      ///< offset resolution (paper: 1 mV)
+    std::uint64_t ops_per_cell = 1'000'000;  ///< EXECUTE iterations per cell
+    unsigned dvfs_core = 0;           ///< core the DVFS thread runs on
+    unsigned execute_core = 1;        ///< core the EXECUTE thread runs on
+    /// Instruction the EXECUTE thread hammers.  The paper uses imul (the
+    /// longest path, hence the shallowest onsets — the conservative
+    /// choice for a defense map); other classes characterize shallower
+    /// paths, e.g. FpMul for AES-NI-style victims.
+    sim::InstrClass instr_class = sim::InstrClass::Imul;
+    /// Pin the die to this temperature at the start of every cell
+    /// (0 = leave the thermal model alone).  Characterizing HOT is the
+    /// worst case: timing margins shrink with temperature, so a map
+    /// taken at the maximum expected die temperature stays conservative
+    /// at runtime (see bench_thermal).
+    double die_preheat_c = 0.0;
+};
+
+/// Result of probing one (frequency, offset) cell.
+struct CellResult {
+    std::uint64_t faults = 0;
+    bool crashed = false;
+};
+
+/// The Algorithm 2 driver.
+class Characterizer {
+public:
+    Characterizer(os::Kernel& kernel, CharacterizerConfig config);
+
+    /// Probe one cell: pin all cores to `f`, command `offset`, wait for
+    /// the rail, run the EXECUTE loop, restore nominal settings.  If the
+    /// machine crashes the caller's machine is left crashed (reboot is
+    /// the sweep driver's job, as on real hardware).
+    [[nodiscard]] CellResult test_cell(Megahertz f, Millivolts offset);
+
+    /// Full sweep over the profile's frequency table, producing the
+    /// safe-state map.  Reboots the machine after every crash cell.
+    /// `progress` (optional) is called once per completed column.
+    [[nodiscard]] SafeStateMap characterize(
+        const std::function<void(const FreqCharacterization&)>& progress = {});
+
+    /// Number of machine crashes (reboots) the last sweep caused.
+    [[nodiscard]] unsigned crash_count() const { return crash_count_; }
+
+private:
+    os::Kernel& kernel_;
+    os::Cpupower cpupower_;
+    CharacterizerConfig config_;
+    unsigned crash_count_ = 0;
+};
+
+}  // namespace pv::plugvolt

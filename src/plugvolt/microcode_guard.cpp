@@ -1,0 +1,40 @@
+#include "plugvolt/microcode_guard.hpp"
+
+#include "sim/ocm.hpp"
+#include "util/error.hpp"
+
+namespace pv::plugvolt {
+
+MicrocodeGuard::MicrocodeGuard(sim::Machine& machine, Millivolts maximal_safe)
+    : machine_(machine), maximal_safe_(maximal_safe) {
+    if (maximal_safe_ > Millivolts{0.0})
+        throw ConfigError("maximal safe state must be a non-positive offset");
+}
+
+MicrocodeGuard::~MicrocodeGuard() { uninstall(); }
+
+void MicrocodeGuard::install() {
+    if (token_) return;
+    token_ = machine_.add_write_hook(
+        [this](unsigned, std::uint32_t addr, std::uint64_t& value) {
+            if (addr != sim::kMsrOcMailbox) return sim::MsrWriteAction::Allow;
+            const auto req = sim::decode_offset(value);
+            if (!req || !req->command || !req->write_enable)
+                return sim::MsrWriteAction::Allow;
+            const bool fault_relevant = req->plane == sim::VoltagePlane::Core ||
+                                        req->plane == sim::VoltagePlane::Cache;
+            if (fault_relevant && req->offset < maximal_safe_) {
+                ++ignored_;  // conditional microcode branch: drop the write
+                return sim::MsrWriteAction::Ignore;
+            }
+            return sim::MsrWriteAction::Allow;
+        });
+}
+
+void MicrocodeGuard::uninstall() {
+    if (!token_) return;
+    machine_.remove_write_hook(*token_);
+    token_.reset();
+}
+
+}  // namespace pv::plugvolt

@@ -1,0 +1,74 @@
+#include "plugvolt/msr_clamp.hpp"
+
+#include <cmath>
+
+#include "sim/ocm.hpp"
+#include "util/error.hpp"
+
+namespace pv::plugvolt {
+
+MsrClamp::MsrClamp(sim::Machine& machine, Millivolts limit, bool locked)
+    : machine_(machine), limit_(limit), locked_(locked) {
+    if (limit_ > Millivolts{0.0})
+        throw ConfigError("voltage offset limit must be a non-positive offset");
+}
+
+MsrClamp::~MsrClamp() { uninstall(); }
+
+std::uint64_t MsrClamp::encode_limit(Millivolts limit, bool locked) {
+    const auto magnitude =
+        static_cast<std::uint64_t>(std::llround(-limit.value())) & 0x1FFFFFULL;
+    return magnitude | (locked ? (1ULL << 31) : 0ULL);
+}
+
+Millivolts MsrClamp::decode_limit(std::uint64_t raw) {
+    return Millivolts{-static_cast<double>(raw & 0x1FFFFFULL)};
+}
+
+void MsrClamp::install() {
+    if (clamp_token_) return;
+    // Fuse the limit before arming the lock hook.
+    machine_.write_msr(0, sim::kMsrVoltageOffsetLimit, encode_limit(limit_, locked_));
+
+    lock_token_ = machine_.add_write_hook(
+        [this](unsigned, std::uint32_t addr, std::uint64_t&) {
+            if (addr != sim::kMsrVoltageOffsetLimit) return sim::MsrWriteAction::Allow;
+            const std::uint64_t current = machine_.read_msr(0, sim::kMsrVoltageOffsetLimit);
+            if (current & (1ULL << 31)) {  // lock bit set: frozen until reset
+                ++blocked_limit_writes_;
+                return sim::MsrWriteAction::Ignore;
+            }
+            return sim::MsrWriteAction::Allow;
+        });
+
+    clamp_token_ = machine_.add_write_hook(
+        [this](unsigned, std::uint32_t addr, std::uint64_t& value) {
+            if (addr != sim::kMsrOcMailbox) return sim::MsrWriteAction::Allow;
+            const auto req = sim::decode_offset(value);
+            const bool fault_relevant =
+                req && (req->plane == sim::VoltagePlane::Core ||
+                        req->plane == sim::VoltagePlane::Cache);
+            if (!req || !req->command || !req->write_enable || !fault_relevant)
+                return sim::MsrWriteAction::Allow;
+            const Millivolts live_limit =
+                decode_limit(machine_.read_msr(0, sim::kMsrVoltageOffsetLimit));
+            if (req->offset < live_limit) {
+                ++clamped_;  // DRAM_MIN_PWR-style clamp, not a drop
+                value = sim::encode_offset(live_limit, req->plane);
+            }
+            return sim::MsrWriteAction::Allow;
+        });
+}
+
+void MsrClamp::uninstall() {
+    if (clamp_token_) {
+        machine_.remove_write_hook(*clamp_token_);
+        clamp_token_.reset();
+    }
+    if (lock_token_) {
+        machine_.remove_write_hook(*lock_token_);
+        lock_token_.reset();
+    }
+}
+
+}  // namespace pv::plugvolt

@@ -1,0 +1,156 @@
+#include "plugvolt/polling_module.hpp"
+
+
+#include <algorithm>
+#include <cmath>
+#include "sim/ocm.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace pv::plugvolt {
+
+PollingModule::PollingModule(SafeStateMap map, PollingConfig config)
+    : map_(std::move(map)), config_(std::move(config)) {
+    if (config_.interval <= Picoseconds{0})
+        throw ConfigError("polling interval must be positive");
+    if (map_.rows().empty()) throw ConfigError("polling module needs a characterized map");
+    if (config_.watch_measured_rail && !config_.nominal_rail)
+        throw ConfigError("rail watchdog needs the fused VF table");
+    maximal_safe_ = map_.maximal_safe_offset(config_.guard_band);
+}
+
+void PollingModule::clamp_frequencies(os::Kernel& kernel, unsigned poller_cpu,
+                                      Megahertz f_safe) {
+    os::MsrDriver& msr = kernel.msr();
+    const auto ratio = static_cast<std::uint64_t>(f_safe.value() / 100.0 + 0.5) & 0xFF;
+    const unsigned cores = kernel.machine().core_count();
+    for (unsigned cpu = 0; cpu < cores; ++cpu) {
+        const std::uint64_t cur = msr.rdmsr(poller_cpu, cpu, sim::kMsrPerfCtl);
+        if (static_cast<double>((cur >> 8) & 0xFF) * 100.0 <= f_safe.value()) continue;
+        if (msr.wrmsr(poller_cpu, cpu, sim::kMsrPerfCtl, ratio << 8))
+            ++metrics_.freq_drops;
+    }
+}
+
+void PollingModule::poll_cpu(os::Kernel& kernel, unsigned poller_cpu, unsigned target_cpu) {
+    ++metrics_.polls;
+    os::MsrDriver& msr = kernel.msr();
+
+    // Algo. 3 lines 4-5: read frequency from 0x198 and offset from 0x150.
+    // We additionally read the *requested* ratio from 0x199: a pending
+    // P-state raise onto a deep offset is already an attack in flight
+    // (VoltJockey direction) and must be caught before the PCU finishes
+    // ramping the rail up.
+    const std::uint64_t perf = msr.rdmsr(poller_cpu, target_cpu, sim::kMsrPerfStatus);
+    const Megahertz effective{static_cast<double>((perf >> 8) & 0xFF) * 100.0};
+    const std::uint64_t ctl = msr.rdmsr(poller_cpu, target_cpu, sim::kMsrPerfCtl);
+    const Megahertz requested{static_cast<double>((ctl >> 8) & 0xFF) * 100.0};
+    const Megahertz freq = std::max(effective, requested);
+    const std::uint64_t ocm = msr.rdmsr(poller_cpu, target_cpu, sim::kMsrOcMailbox);
+    const auto req = sim::decode_offset(ocm);
+    const Millivolts commanded = req ? req->offset : Millivolts{0.0};
+    // The mailbox reports the deepest commanded plane; restores must
+    // target THAT plane (a cache-plane undervolt faults the load path —
+    // rewriting the core plane would leave it armed).
+    const sim::VoltagePlane plane = req ? req->plane : sim::VoltagePlane::Core;
+
+    // Defense-in-depth rail watchdog: a rail pulled down WITHOUT a
+    // matching mailbox command means hardware injection on the SVID bus.
+    if (config_.watch_measured_rail) {
+        // Blank the residual check while a legitimate command is still
+        // settling (the module knows the regulator's latency/slew specs).
+        if (commanded != last_commanded_) {
+            const auto& reg = kernel.machine().profile().regulator;
+            const double delta_mv = std::abs((commanded - last_commanded_).value());
+            blank_until_ = kernel.machine().now() + reg.write_latency +
+                           microseconds(delta_mv / reg.slew_mv_per_us + 20.0);
+            last_commanded_ = commanded;
+        }
+        if (kernel.machine().now() >= blank_until_) {
+            const double measured_v =
+                static_cast<double>((perf >> 32) & 0xFFFF) / 8192.0 * 1000.0;
+            const Millivolts measured_offset =
+                Millivolts{measured_v} - config_.nominal_rail->nominal(effective);
+            const Millivolts residual = measured_offset - commanded;
+            if (residual < -config_.rail_watch_margin) {
+                ++metrics_.rail_watch_detections;
+                metrics_.last_detection = kernel.machine().now();
+                // The mailbox cannot out-write a bus interposer; the
+                // frequency lever is the one the attacker cannot reach.
+                clamp_frequencies(
+                    kernel, poller_cpu,
+                    map_.max_safe_frequency(measured_offset, config_.guard_band));
+            }
+        }
+    }
+
+    // Algo. 3 line 6: membership test against the unsafe state set.
+    // The guard band is applied at DETECTION time: states within guard of
+    // the measured onset still carry residual (sub-characterization-
+    // sensitivity) fault probability that a patient attacker could farm,
+    // so they count as unsafe too.  The maximal-safe policy tightens the
+    // test to a frequency-independent bound.
+    // (1 mV of hysteresis keeps the module's own restore target — exactly
+    // guard_band above the onset — from re-triggering detection forever.)
+    const Millivolts probe = commanded - config_.guard_band + Millivolts{1.0};
+    const bool unsafe = config_.restore == RestorePolicy::ClampToMaximalSafe
+                            ? commanded < maximal_safe_
+                            : map_.is_unsafe(freq, probe);
+    if (!unsafe) return;
+
+    ++metrics_.detections;
+    metrics_.last_detection = kernel.machine().now();
+
+    // Algo. 3 line 7: force the system back into a safe state.  Two
+    // levers, pulled in order of immediacy:
+    //  1. frequency (instant, always the safe direction): cancel any
+    //     pending raise outright (back to the effective frequency — the
+    //     rail may still be parked deep, so completing the raise at ANY
+    //     higher P-state is a transition-window gamble), and never above
+    //     the highest frequency safe for the commanded offset;
+    //  2. voltage (slow: wrmsr latency + regulator ramp): restore the
+    //     offset per the configured policy.
+    const Megahertz f_safe =
+        std::min(effective, map_.max_safe_frequency(commanded, config_.guard_band));
+    // on_each_cpu: the rail is package-wide, so a pending raise on ANY
+    // core keeps the package target high -- cancel them all.
+    if (freq > f_safe) clamp_frequencies(kernel, poller_cpu, f_safe);
+
+    Millivolts safe{0.0};
+    switch (config_.restore) {
+        case RestorePolicy::RestoreZero: safe = Millivolts{0.0}; break;
+        case RestorePolicy::ClampToSafeLimit:
+            safe = map_.safe_limit(freq, config_.guard_band);
+            break;
+        case RestorePolicy::ClampToMaximalSafe: safe = maximal_safe_; break;
+    }
+    const std::uint64_t raw = sim::encode_offset(safe, plane);
+    if (msr.wrmsr(poller_cpu, target_cpu, sim::kMsrOcMailbox, raw)) ++metrics_.restore_writes;
+    log_debug("plugvolt: unsafe state at f=", freq.value(), " MHz, offset=",
+              commanded.value(), " mV -> restoring ", safe.value(), " mV");
+}
+
+void PollingModule::init(os::Kernel& kernel) {
+    const unsigned cores = kernel.machine().core_count();
+    if (config_.per_core_threads) {
+        for (unsigned cpu = 0; cpu < cores; ++cpu) {
+            kthreads_.push_back(kernel.start_kthread(
+                {.name = "plugvolt/" + std::to_string(cpu), .cpu = cpu,
+                 .period = config_.interval},
+                [this, cpu](os::Kernel& k) { poll_cpu(k, cpu, cpu); }));
+        }
+    } else {
+        kthreads_.push_back(kernel.start_kthread(
+            {.name = "plugvolt/0", .cpu = 0, .period = config_.interval},
+            [this, cores](os::Kernel& k) {
+                for (unsigned cpu = 0; cpu < cores; ++cpu) poll_cpu(k, 0, cpu);
+            }));
+    }
+}
+
+void PollingModule::exit(os::Kernel& kernel) {
+    for (const os::KthreadId id : kthreads_) kernel.stop_kthread(id);
+    kthreads_.clear();
+}
+
+}  // namespace pv::plugvolt

@@ -1,0 +1,109 @@
+// PlugVolt — the polling countermeasure kernel module (Sec. 4.3, Algo. 3).
+//
+// A kernel module whose kthread(s) poll MSR 0x198 (frequency + measured
+// voltage) and MSR 0x150 (commanded offset) on every core, classify the
+// (frequency, offset) pair against the characterized safe-state map, and
+// on detecting an unsafe state rewrite 0x150 to force the system back
+// into a safe state.  Two restore policies:
+//   - ClampToSafeLimit (default): write the deepest still-safe offset for
+//     the current frequency — benign undervolting keeps working, the
+//     paper's headline advantage over access-control defenses;
+//   - RestoreZero: write offset 0 (most conservative).
+//
+// Two threading layouts, both measured by the ablation bench:
+//   - one kthread per core polling local MSRs (default — what per-CPU
+//     kernel workers would do; cheapest);
+//   - a single kthread on one core polling every core via IPIs (the
+//     literal reading of Algo. 3's "for each CPU core" loop).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <optional>
+
+#include "os/kernel.hpp"
+#include "plugvolt/safe_state.hpp"
+#include "sim/vf_curve.hpp"
+
+namespace pv::plugvolt {
+
+/// How the module forces the system back into a safe state.
+///
+/// ClampToSafeLimit keeps the deepest per-frequency safe offset (the most
+/// DVFS-friendly choice and the paper's kernel-module behaviour); it has
+/// a theoretical residual race against an adversary who parks a deep,
+/// currently-safe offset and then steps frequency by exactly one bin
+/// (see the attack-matrix ablation).  ClampToMaximalSafe enforces the
+/// Sec. 5 maximal safe state on the *commanded* offset at all times,
+/// which provably closes that race at the cost of shallower benign
+/// undervolts.  RestoreZero is the most conservative.
+enum class RestorePolicy { ClampToSafeLimit, ClampToMaximalSafe, RestoreZero };
+
+/// Module configuration.
+struct PollingConfig {
+    Picoseconds interval = microseconds(50.0);
+    bool per_core_threads = true;
+    RestorePolicy restore = RestorePolicy::ClampToSafeLimit;
+    /// Safety margin applied when clamping to the safe limit.
+    Millivolts guard_band{15.0};
+
+    /// Rail watchdog (defense-in-depth beyond the paper): compare the
+    /// MEASURED voltage (0x198 bits 47:32) against what the mailbox
+    /// commanded.  A persistently more-negative residual means something
+    /// other than software is pulling the rail — a hardware SVID
+    /// interposer (VoltPillager).  The mailbox cannot fix that, but the
+    /// frequency lever is instant and attacker-unreachable from the bus:
+    /// the module clamps the P-state so the injected rail becomes safe.
+    bool watch_measured_rail = false;
+    /// Residual threshold before the watchdog fires.
+    Millivolts rail_watch_margin{30.0};
+    /// The fused VF table (vendor data a real module ships with); needed
+    /// to convert the measured voltage into an offset.  Required when
+    /// watch_measured_rail is set.
+    std::optional<sim::VfCurve> nominal_rail;
+};
+
+/// Runtime counters exposed by the module (like a sysfs stats file).
+struct PollingMetrics {
+    std::uint64_t polls = 0;            ///< per-core poll iterations
+    std::uint64_t detections = 0;       ///< unsafe states detected
+    std::uint64_t restore_writes = 0;   ///< 0x150 rewrites issued
+    std::uint64_t freq_drops = 0;       ///< instant 0x199 safety clamps issued
+    std::uint64_t rail_watch_detections = 0;  ///< hardware-injection residuals seen
+    Picoseconds last_detection{};       ///< timestamp of the latest detection
+};
+
+/// The countermeasure module.  Load with Kernel::load_module; its load
+/// state is what the paper proposes adding to SGX attestation reports.
+class PollingModule final : public os::KernelModule {
+public:
+    PollingModule(SafeStateMap map, PollingConfig config);
+
+    [[nodiscard]] std::string_view name() const override { return kModuleName; }
+    void init(os::Kernel& kernel) override;
+    void exit(os::Kernel& kernel) override;
+
+    [[nodiscard]] const PollingMetrics& metrics() const { return metrics_; }
+    [[nodiscard]] const SafeStateMap& map() const { return map_; }
+    [[nodiscard]] const PollingConfig& config() const { return config_; }
+
+    static constexpr std::string_view kModuleName = "plugvolt";
+
+private:
+    /// One poll of `target_cpu` from `poller_cpu` (Algo. 3 body).
+    void poll_cpu(os::Kernel& kernel, unsigned poller_cpu, unsigned target_cpu);
+
+    /// Drop every core's requested frequency to at most `f_safe`.
+    void clamp_frequencies(os::Kernel& kernel, unsigned poller_cpu, Megahertz f_safe);
+
+    SafeStateMap map_;
+    Millivolts last_commanded_{};   // rail-watch blanking state
+    Picoseconds blank_until_{};
+    PollingConfig config_;
+    Millivolts maximal_safe_{};
+    PollingMetrics metrics_;
+    std::vector<os::KthreadId> kthreads_;
+};
+
+}  // namespace pv::plugvolt

@@ -1,0 +1,123 @@
+#include "plugvolt/safe_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace pv::plugvolt {
+
+const char* to_string(StateClass c) {
+    switch (c) {
+        case StateClass::Safe: return "safe";
+        case StateClass::Unsafe: return "unsafe";
+        case StateClass::Crash: return "crash";
+    }
+    return "?";
+}
+
+SafeStateMap::SafeStateMap(std::string system_name, Millivolts sweep_floor)
+    : system_name_(std::move(system_name)), sweep_floor_(sweep_floor) {
+    if (sweep_floor_ >= Millivolts{0.0})
+        throw ConfigError("sweep floor must be a negative offset");
+}
+
+void SafeStateMap::add(FreqCharacterization row) {
+    if (!rows_.empty() && row.freq <= rows_.back().freq)
+        throw ConfigError("safe-state rows must be added in increasing frequency order");
+    if (!row.fault_free && row.crash > row.onset)
+        throw ConfigError("crash boundary cannot be shallower than fault onset");
+    rows_.push_back(row);
+}
+
+const FreqCharacterization& SafeStateMap::nearest_row(Megahertz f) const {
+    if (rows_.empty()) throw ConfigError("safe-state map is empty");
+    const FreqCharacterization* best = &rows_.front();
+    double best_d = std::abs(f.value() - best->freq.value());
+    for (const auto& row : rows_) {
+        const double d = std::abs(f.value() - row.freq.value());
+        if (d < best_d) {
+            best = &row;
+            best_d = d;
+        }
+    }
+    return *best;
+}
+
+StateClass SafeStateMap::classify(Megahertz f, Millivolts offset) const {
+    const FreqCharacterization& row = nearest_row(f);
+    if (row.fault_free) {
+        // No faults were seen down to the sweep floor; anything deeper
+        // was never characterized and must be treated as unsafe.
+        return offset >= sweep_floor_ ? StateClass::Safe : StateClass::Unsafe;
+    }
+    if (offset <= row.crash) return StateClass::Crash;
+    if (offset <= row.onset) return StateClass::Unsafe;
+    return StateClass::Safe;
+}
+
+bool SafeStateMap::is_unsafe(Megahertz f, Millivolts offset) const {
+    return classify(f, offset) != StateClass::Safe;
+}
+
+Millivolts SafeStateMap::safe_limit(Megahertz f, Millivolts guard) const {
+    const FreqCharacterization& row = nearest_row(f);
+    const Millivolts edge = row.fault_free ? sweep_floor_ : row.onset;
+    return std::min(Millivolts{0.0}, edge + guard);
+}
+
+Millivolts SafeStateMap::maximal_safe_offset(Millivolts guard) const {
+    if (rows_.empty()) throw ConfigError("safe-state map is empty");
+    Millivolts shallowest_edge = sweep_floor_;
+    for (const auto& row : rows_) {
+        const Millivolts edge = row.fault_free ? sweep_floor_ : row.onset;
+        shallowest_edge = std::max(shallowest_edge, edge);
+    }
+    return std::min(Millivolts{0.0}, shallowest_edge + guard);
+}
+
+Megahertz SafeStateMap::max_safe_frequency(Millivolts offset, Millivolts guard) const {
+    if (rows_.empty()) throw ConfigError("safe-state map is empty");
+    const Millivolts probe = offset - guard;
+    Megahertz best = rows_.front().freq;
+    bool found = false;
+    for (const auto& row : rows_) {
+        if (classify(row.freq, probe) == StateClass::Safe) {
+            best = found ? std::max(best, row.freq) : row.freq;
+            found = true;
+        }
+    }
+    return found ? best : rows_.front().freq;
+}
+
+std::string SafeStateMap::to_csv() const {
+    CsvDocument doc;
+    doc.header = {"freq_mhz", "onset_mv", "crash_mv", "fault_free"};
+    for (const auto& row : rows_) {
+        doc.rows.push_back({std::to_string(row.freq.value()),
+                            std::to_string(row.onset.value()),
+                            std::to_string(row.crash.value()),
+                            row.fault_free ? "1" : "0"});
+    }
+    return csv_write(doc);
+}
+
+SafeStateMap SafeStateMap::from_csv(const std::string& text, std::string system_name,
+                                    Millivolts sweep_floor) {
+    const CsvDocument doc = csv_parse(text);
+    if (doc.header != std::vector<std::string>{"freq_mhz", "onset_mv", "crash_mv", "fault_free"})
+        throw ConfigError("unexpected safe-state CSV header");
+    SafeStateMap map(std::move(system_name), sweep_floor);
+    for (const auto& row : doc.rows) {
+        map.add(FreqCharacterization{
+            .freq = Megahertz{std::stod(row[0])},
+            .onset = Millivolts{std::stod(row[1])},
+            .crash = Millivolts{std::stod(row[2])},
+            .fault_free = row[3] == "1",
+        });
+    }
+    return map;
+}
+
+}  // namespace pv::plugvolt

@@ -1,0 +1,62 @@
+// PlugVolt — countermeasure turnaround time (Sec. 5).
+//
+// Turnaround is the window between the system entering an unsafe state
+// and being forced back into a safe one.  For the kernel-module
+// deployment it decomposes into: detection latency (bounded by the poll
+// interval), the MSR access costs of the poll body, and the regulator's
+// write latency + ramp.  The microcode and hardware deployments never
+// let the unsafe state be entered, so their turnaround is identically
+// zero — the paper's motivation for the maximal-safe-state design.
+#pragma once
+
+#include "os/kernel.hpp"
+#include "plugvolt/polling_module.hpp"
+#include "plugvolt/safe_state.hpp"
+
+namespace pv::plugvolt {
+
+/// Analytic decomposition of the kernel-module turnaround.
+struct TurnaroundBreakdown {
+    Picoseconds detection_mean{};   ///< E[time to next poll] = interval/2
+    Picoseconds detection_worst{};  ///< full poll interval
+    Picoseconds msr_access{};       ///< poll-body rdmsr/wrmsr cost
+    Picoseconds regulator_latency{};///< SVID command latency
+    Picoseconds regulator_ramp{};   ///< slew from unsafe back to safe offset
+
+    [[nodiscard]] Picoseconds total_mean() const {
+        return detection_mean + msr_access + regulator_latency + regulator_ramp;
+    }
+    [[nodiscard]] Picoseconds total_worst() const {
+        return detection_worst + msr_access + regulator_latency + regulator_ramp;
+    }
+};
+
+/// Analytic estimate for a polling deployment reacting at frequency
+/// `poll_freq` to an excursion from `unsafe_offset` back to `safe_offset`.
+[[nodiscard]] TurnaroundBreakdown estimate_turnaround(const sim::CpuProfile& profile,
+                                                      const PollingConfig& config,
+                                                      Megahertz poll_freq,
+                                                      Millivolts unsafe_offset,
+                                                      Millivolts safe_offset);
+
+/// One measured turnaround experiment: inject an unsafe 0x150 write and
+/// watch the live module detect and repair it.
+struct MeasuredTurnaround {
+    Picoseconds injected_at{};
+    Picoseconds detected_at{};   ///< module's detection timestamp
+    Picoseconds rail_safe_at{};  ///< rail back above the fault onset
+    bool detected = false;
+    bool crashed = false;        ///< the excursion crashed the machine first
+
+    [[nodiscard]] Picoseconds exposure() const { return rail_safe_at - injected_at; }
+};
+
+/// Run the injection experiment on a live kernel+module.  `f` is pinned
+/// on all cores first; `unsafe_offset` is written through the userspace
+/// MSR path from core 0 (the attacker's vantage point).
+[[nodiscard]] MeasuredTurnaround measure_turnaround(os::Kernel& kernel,
+                                                    const PollingModule& module,
+                                                    const SafeStateMap& map, Megahertz f,
+                                                    Millivolts unsafe_offset);
+
+}  // namespace pv::plugvolt

@@ -1,0 +1,22 @@
+#include "sgx/attestation.hpp"
+
+namespace pv::sgx {
+
+VerifyResult verify(const AttestationReport& report, const AttestationPolicy& policy) {
+    if (policy.require_ocm_disabled && !report.features.ocm_disabled)
+        return {false, "policy requires the overclocking mailbox to be disabled"};
+    if (policy.require_plugvolt_module && !report.features.plugvolt_module_loaded)
+        return {false, "policy requires the PlugVolt countermeasure module to be loaded"};
+    return {true, "accepted"};
+}
+
+std::uint64_t measure_enclave(const std::string& name) {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+}  // namespace pv::sgx

@@ -1,0 +1,52 @@
+// PlugVolt — SGX attestation model.
+//
+// Remote attestation is the protocol hinge of the whole defense
+// comparison.  Intel's SA-00289 response added the OCM-disabled status
+// to attestation reports; the paper proposes *replacing* that bit with
+// the load state of the PlugVolt kernel module — keeping OCM usable by
+// benign software while letting clients refuse service to platforms
+// where the countermeasure was unloaded (Sec. 4.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pv::sgx {
+
+/// Platform feature bits included in a quote (alongside the enclave
+/// measurement).  Mirrors how hyperthreading status is already attested.
+struct PlatformFeatures {
+    bool ocm_disabled = false;            ///< Intel SA-00289 bit
+    bool hyperthreading_enabled = false;
+    bool plugvolt_module_loaded = false;  ///< the paper's proposed bit
+    std::string microcode;                ///< platform microcode revision
+};
+
+/// A (drastically simplified) attestation quote.
+struct AttestationReport {
+    std::uint64_t mrenclave = 0;  ///< measurement of the enclave identity
+    PlatformFeatures features;
+};
+
+/// Client-side verification policy.
+struct AttestationPolicy {
+    /// Pre-SA-00289 clients accept anything; patched clients require the
+    /// OCM bit; PlugVolt clients require the module bit instead.
+    bool require_ocm_disabled = false;
+    bool require_plugvolt_module = false;
+};
+
+/// Verdict of verifying a report against a policy.
+struct VerifyResult {
+    bool accepted = false;
+    std::string reason;
+};
+
+/// Evaluate `report` under `policy`.
+[[nodiscard]] VerifyResult verify(const AttestationReport& report,
+                                  const AttestationPolicy& policy);
+
+/// FNV-1a measurement of an enclave name (stand-in for MRENCLAVE).
+[[nodiscard]] std::uint64_t measure_enclave(const std::string& name);
+
+}  // namespace pv::sgx

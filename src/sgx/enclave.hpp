@@ -1,0 +1,62 @@
+// PlugVolt — enclave execution model.
+//
+// An Enclave runs a victim Program on a core.  Execution is faithful to
+// the properties the paper's arguments rest on:
+//  - each instruction's fault outcome comes from the machine's physics
+//    (so undervolting the package faults enclave multiplies exactly like
+//    non-enclave ones — SGX does not protect against DVFS faults);
+//  - an attached SgxStep adversary gets an AEX hook after every retired
+//    instruction, and with zero-stepping may suppress the rest of the
+//    program (defeating in-enclave trap deflection);
+//  - Minefield-style traps abort the run with `detected` when their
+//    consistency check fails.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sgx/program.hpp"
+#include "sgx/sgx_step.hpp"
+#include "sim/machine.hpp"
+
+namespace pv::sgx {
+
+class SgxRuntime;
+
+/// Outcome of one enclave entry.
+struct EnclaveRunResult {
+    bool completed = false;      ///< ran to the end of the program
+    bool trap_detected = false;  ///< a defense trap fired (run aborted)
+    bool suppressed = false;     ///< zero-stepping adversary froze progress
+    bool machine_crashed = false;
+    std::uint64_t aex_count = 0; ///< asynchronous exits (adversary interrupts)
+    std::array<std::uint64_t, 16> regs{};  ///< architectural state at exit
+};
+
+/// A loaded enclave bound to a core.
+class Enclave {
+public:
+    Enclave(SgxRuntime& runtime, std::string name, unsigned core);
+    ~Enclave();
+
+    Enclave(const Enclave&) = delete;
+    Enclave& operator=(const Enclave&) = delete;
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] unsigned core() const { return core_; }
+
+    /// Attach (or detach with nullptr) a stepping adversary.  Non-owning;
+    /// the stepper must outlive the run.
+    void attach_stepper(const SgxStep* stepper) { stepper_ = stepper; }
+
+    /// EENTER: run `program` to completion, trap, suppression or crash.
+    EnclaveRunResult run(const Program& program);
+
+private:
+    SgxRuntime& runtime_;
+    std::string name_;
+    unsigned core_;
+    const SgxStep* stepper_ = nullptr;
+};
+
+}  // namespace pv::sgx

@@ -1,0 +1,88 @@
+// PlugVolt — victim programs.
+//
+// Attacks fault *computations*, and defenses instrument them — Minefield
+// rewrites the instruction stream, enclaves single-step it.  A Program is
+// a small straight-line instruction list over a 16-register file, with
+// per-instruction fault semantics driven by the machine's fault model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/instr.hpp"
+#include "sim/machine.hpp"
+
+namespace pv::sgx {
+
+/// Register file + machine binding a program executes against.  The
+/// machine pointer is null during reference (fault-free) evaluation.
+struct VictimContext {
+    sim::Machine* machine = nullptr;
+    unsigned core = 0;
+    std::array<std::uint64_t, 16> regs{};
+};
+
+/// Register operands of a multiply, exposed so instrumentation passes
+/// (Minefield) can synthesize consistency checks.
+struct MulOperands {
+    unsigned dst = 0, a = 0, b = 0;
+};
+
+/// One victim instruction: a timing class (for the fault physics) plus
+/// architectural semantics.  `semantics` receives whether this dynamic
+/// instance faulted and must apply the corresponding result.
+struct VictimInstr {
+    sim::InstrClass cls = sim::InstrClass::Alu;
+    std::string mnemonic;
+    /// Applies the result; `faulted` tells it to corrupt its output.
+    std::function<void(VictimContext&, bool faulted)> semantics;
+    /// Set on multiplies so compiler passes can instrument them.
+    std::optional<MulOperands> mul_ops;
+    /// True for defense-inserted checks (Minefield traps): traps return
+    /// whether they detected an inconsistency.
+    bool is_trap = false;
+    std::function<bool(VictimContext&)> trap_check;
+};
+
+using Program = std::vector<VictimInstr>;
+
+/// rX = rA * rB (wrapping 64-bit); faults corrupt the product the way an
+/// undervolted multiplier does.
+[[nodiscard]] VictimInstr make_imul(unsigned dst, unsigned a, unsigned b);
+
+/// rX = rA + rB; on the (much shorter) ALU path.
+[[nodiscard]] VictimInstr make_add(unsigned dst, unsigned a, unsigned b);
+
+/// rX = imm.
+[[nodiscard]] VictimInstr make_load_imm(unsigned dst, std::uint64_t imm);
+
+/// rX = rA ^ rB.
+[[nodiscard]] VictimInstr make_xor(unsigned dst, unsigned a, unsigned b);
+
+/// A Minefield-style trap: recompute rA * rB and trap if it differs from
+/// rDst (i.e. the preceding multiply was faulted).
+[[nodiscard]] VictimInstr make_mul_trap(unsigned dst, unsigned a, unsigned b);
+
+/// A chain of `n` dependent multiplies r2 = r0 * r1; r0 = r2 ^ r1; ...
+/// — the classic Plundervolt victim loop, unrolled.
+[[nodiscard]] Program make_mul_chain(std::uint64_t seed_a, std::uint64_t seed_b, std::size_t n);
+
+/// Reference (fault-free) final register file of a program, computed
+/// without touching the machine.  Used to decide whether an output was
+/// corrupted.
+[[nodiscard]] std::array<std::uint64_t, 16> reference_run(const Program& program,
+                                                          std::array<std::uint64_t, 16> regs = {});
+
+/// Reference register file after executing only program[0..count).
+[[nodiscard]] std::array<std::uint64_t, 16> reference_run_prefix(
+    const Program& program, std::size_t count, std::array<std::uint64_t, 16> regs = {});
+
+/// Index of the last non-trap multiply in `program`; throws ConfigError
+/// if there is none.  (What a stepping attacker targets.)
+[[nodiscard]] std::size_t last_mul_index(const Program& program);
+
+}  // namespace pv::sgx

@@ -1,0 +1,57 @@
+// PlugVolt — SGX-Step-style interrupt adversary.
+//
+// SGX-Step abuses the APIC timer to interrupt an enclave after every
+// single instruction (AEX), giving the attacker a hook between any two
+// victim instructions; zero-stepping additionally lets it replay/suppress
+// forward progress — unbounded time between fault injection and whatever
+// the enclave would do next.  The paper leans on exactly this capability
+// to argue that trap-deflection defenses (Minefield) need third-party
+// help, while the PlugVolt countermeasure does not care (Sec. 4.1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pv::sgx {
+
+/// What the adversary can do to enclave execution.
+struct StepperCapabilities {
+    bool single_step = true;  ///< AEX after every instruction
+    bool zero_step = false;   ///< suppress forward progress at will
+};
+
+/// Adversary decision at each AEX.
+enum class StepAction {
+    Continue,          ///< resume the enclave normally
+    SuppressProgress,  ///< zero-step: the remaining program never retires
+};
+
+/// The stepping adversary attached to an enclave.
+class SgxStep {
+public:
+    /// `on_step(index)` fires after instruction `index` retires (single-
+    /// stepping).  Returning SuppressProgress only has effect when the
+    /// zero-step capability is present.
+    using StepHook = std::function<StepAction(std::size_t instr_index)>;
+
+    explicit SgxStep(StepperCapabilities caps) : caps_(caps) {}
+
+    void set_on_step(StepHook hook) { hook_ = std::move(hook); }
+
+    [[nodiscard]] const StepperCapabilities& capabilities() const { return caps_; }
+
+    /// Called by the enclave runtime at each AEX boundary.
+    [[nodiscard]] StepAction step(std::size_t instr_index) const {
+        if (!caps_.single_step || !hook_) return StepAction::Continue;
+        const StepAction a = hook_(instr_index);
+        if (a == StepAction::SuppressProgress && !caps_.zero_step)
+            return StepAction::Continue;  // capability not present
+        return a;
+    }
+
+private:
+    StepperCapabilities caps_;
+    StepHook hook_;
+};
+
+}  // namespace pv::sgx

@@ -1,0 +1,19 @@
+#include "sim/core.hpp"
+
+namespace pv::sim {
+
+Picoseconds Core::drain_steal(Picoseconds budget) {
+    const Picoseconds drained = pending_steal_ < budget ? pending_steal_ : budget;
+    pending_steal_ -= drained;
+    return drained;
+}
+
+void Core::reset(Megahertz boot_freq) {
+    freq_ = boot_freq;
+    cstate_ = CState::C0;
+    instructions_ = 0;
+    pending_steal_ = Picoseconds{};
+    total_steal_ = Picoseconds{};
+}
+
+}  // namespace pv::sim

@@ -1,0 +1,138 @@
+#include "sim/cpu_profile.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pv::sim {
+namespace {
+
+AccessCosts default_costs() {
+    // Calibration: the polling countermeasure's per-wakeup cost is
+    // kthread_wake + 2*rdmsr (~350 cycles).  At the default 50 us poll
+    // interval this prices to ~0.2-0.4% of a core depending on its
+    // frequency — the Table 2 regime (0.28% average).
+    return AccessCosts{
+        .rdmsr_cycles = 130,
+        .wrmsr_cycles = 150,
+        .ioctl_overhead_cycles = 1500,
+        .ipi_cycles = 3000,
+        .kthread_wake_cycles = 260,
+    };
+}
+
+RegulatorParams default_regulator() {
+    // Plundervolt reports a perceptible delay between the 0x150 write and
+    // the regulator settling; we model a fixed command latency plus a
+    // linear slew.  Jointly with the 50 us poll interval this gives the
+    // prevention guarantee: worst-case rail excursion before the module's
+    // restore command takes hold is slew * interval = 50 mV, shallower
+    // than every profile's shallowest fault onset (~100 mV).
+    return RegulatorParams{
+        .write_latency = microseconds(150.0),
+        .slew_mv_per_us = 1.0,
+    };
+}
+
+}  // namespace
+
+std::vector<Megahertz> CpuProfile::frequency_table() const {
+    if (freq_step.value() <= 0.0) throw ConfigError("freq_step must be positive");
+    std::vector<Megahertz> table;
+    for (double f = freq_min.value(); f <= freq_max.value() + 1e-9; f += freq_step.value())
+        table.push_back(Megahertz{f});
+    return table;
+}
+
+CpuProfile skylake_i5_6500() {
+    CpuProfile p;
+    p.name = "Intel(R) Core(TM) i5-6500 CPU @ 3.20GHz";
+    p.codename = "Sky Lake";
+    p.microcode = "0xf0";
+    p.core_count = 4;
+    p.freq_min = from_ghz(0.8);
+    p.freq_max = from_ghz(3.6);
+    p.freq_base = from_ghz(3.2);
+    p.freq_step = Megahertz{100.0};
+    p.vf_points = {
+        {from_ghz(0.8), Millivolts{700.0}},
+        {from_ghz(3.6), Millivolts{980.0}},
+    };
+    p.timing = TimingParams{
+        .threshold_voltage = Millivolts{350.0},
+        .alpha = 1.3,
+        .path_constant_ps = 120.0,
+        .setup_time_ps = 20.0,
+        .clock_uncertainty_ps = 10.0,
+        .sigma_fraction = 0.006,
+        .crash_path_factor = 0.995,
+    };
+    p.costs = default_costs();
+    p.regulator = default_regulator();
+    return p;
+}
+
+CpuProfile kabylake_r_i5_8250u() {
+    CpuProfile p;
+    p.name = "Intel(R) Core(TM) i5-8250U CPU @ 1.60GHz";
+    p.codename = "Kaby Lake R";
+    p.microcode = "0xf4";
+    p.core_count = 4;
+    p.freq_min = from_ghz(0.4);
+    p.freq_max = from_ghz(3.4);
+    p.freq_base = from_ghz(1.6);
+    p.freq_step = Megahertz{100.0};
+    p.vf_points = {
+        {from_ghz(0.4), Millivolts{660.0}},
+        {from_ghz(3.4), Millivolts{960.0}},
+    };
+    p.timing = TimingParams{
+        .threshold_voltage = Millivolts{350.0},
+        .alpha = 1.3,
+        .path_constant_ps = 120.0,
+        .setup_time_ps = 22.0,
+        .clock_uncertainty_ps = 10.0,
+        .sigma_fraction = 0.006,
+        .crash_path_factor = 0.995,
+    };
+    p.costs = default_costs();
+    p.regulator = default_regulator();
+    return p;
+}
+
+CpuProfile cometlake_i7_10510u() {
+    CpuProfile p;
+    p.name = "Intel(R) Core(TM) i7-10510U CPU @ 1.80GHz";
+    p.codename = "Comet Lake";
+    p.microcode = "0xf4";
+    p.core_count = 4;
+    p.freq_min = from_ghz(0.4);
+    p.freq_max = from_ghz(4.9);
+    p.freq_base = from_ghz(1.8);
+    p.freq_step = Megahertz{100.0};
+    // A single shallow segment: the nominal slope (85 mV/GHz) stays just
+    // below the critical-voltage slope everywhere on this faster
+    // process, which keeps the emergent onset curve monotone.
+    p.vf_points = {
+        {from_ghz(0.4), Millivolts{680.0}},
+        {from_ghz(4.9), Millivolts{1062.0}},
+    };
+    p.timing = TimingParams{
+        .threshold_voltage = Millivolts{330.0},
+        .alpha = 1.3,
+        .path_constant_ps = 100.0,
+        .setup_time_ps = 18.0,
+        .clock_uncertainty_ps = 8.0,
+        .sigma_fraction = 0.006,
+        .crash_path_factor = 0.995,
+    };
+    p.costs = default_costs();
+    p.regulator = default_regulator();
+    return p;
+}
+
+std::vector<CpuProfile> paper_profiles() {
+    return {skylake_i5_6500(), kabylake_r_i5_8250u(), cometlake_i7_10510u()};
+}
+
+}  // namespace pv::sim

@@ -1,0 +1,35 @@
+#include "sim/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace pv::sim {
+
+void EventQueue::schedule(Picoseconds when, Callback fn) {
+    if (when < last_) throw SimError("event scheduled into the past");
+    queue_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+Picoseconds EventQueue::next_time() const {
+    if (queue_.empty()) throw SimError("next_time on empty queue");
+    return queue_.top().when;
+}
+
+std::size_t EventQueue::run_until(Picoseconds until) {
+    std::size_t count = 0;
+    while (!queue_.empty() && queue_.top().when <= until) {
+        // Copy out before pop so a callback can schedule new events.
+        Entry entry{queue_.top().when, queue_.top().seq, std::move(const_cast<Entry&>(queue_.top()).fn)};
+        queue_.pop();
+        last_ = entry.when;
+        entry.fn();
+        ++count;
+    }
+    if (last_ < until) last_ = until;
+    return count;
+}
+
+void EventQueue::clear() {
+    while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace pv::sim

@@ -1,0 +1,63 @@
+// PlugVolt — discrete-event scheduling core.
+//
+// The whole machine model is a single-threaded discrete-event simulation:
+// voltage ramps are evaluated lazily, but kernel-thread wakeups, regulator
+// completion callbacks and watchdog timers are events.  Determinism is a
+// hard requirement (ties broken by insertion order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pv::sim {
+
+/// Time-ordered callback queue.  Events scheduled for the same timestamp
+/// fire in insertion order.
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    /// Schedule `fn` to run at absolute time `when`; `when` must not be
+    /// before the last popped time (no scheduling into the past).
+    void schedule(Picoseconds when, Callback fn);
+
+    /// True if no events remain.
+    [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+    /// Timestamp of the next event; only valid when !empty().
+    [[nodiscard]] Picoseconds next_time() const;
+
+    /// Pop and run every event with timestamp <= `until`, advancing the
+    /// internal clock.  Events scheduled by callbacks are honoured if
+    /// they also fall within `until`.  Returns the number of events run.
+    std::size_t run_until(Picoseconds until);
+
+    /// The timestamp of the most recently executed event (or zero).
+    [[nodiscard]] Picoseconds last_dispatched() const { return last_; }
+
+    /// Drop all pending events (used on machine reset after a crash).
+    void clear();
+
+private:
+    struct Entry {
+        Picoseconds when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    std::uint64_t next_seq_ = 0;
+    Picoseconds last_{};
+};
+
+}  // namespace pv::sim

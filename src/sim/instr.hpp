@@ -1,0 +1,52 @@
+// PlugVolt — instruction classes used by the timing/fault model.
+//
+// DVFS faults are path-length dependent: the 64x64 multiplier has the
+// longest combinational path in the integer core, which is why every
+// published attack (Plundervolt, V0LTpwn, VoltPillager) targets `imul`
+// and why the paper's EXECUTE thread runs imul loops.  Each class here
+// carries a relative critical-path factor applied to the worst-case
+// delay computed by the TimingModel.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace pv::sim {
+
+/// Coarse instruction classes with distinct critical-path lengths.
+enum class InstrClass {
+    Imul,     ///< 64-bit integer multiply — the longest path (factor 1.0).
+    FpMul,    ///< floating multiply/FMA — slightly shorter.
+    Load,     ///< L1 load hit path.
+    Alu,      ///< simple integer ALU op.
+    Branch,   ///< branch resolution path.
+};
+
+inline constexpr std::array<InstrClass, 5> kAllInstrClasses = {
+    InstrClass::Imul, InstrClass::FpMul, InstrClass::Load,
+    InstrClass::Alu, InstrClass::Branch};
+
+/// Relative critical-path length of `c` versus the imul path.
+[[nodiscard]] constexpr double path_factor(InstrClass c) {
+    switch (c) {
+        case InstrClass::Imul: return 1.00;
+        case InstrClass::FpMul: return 0.97;
+        case InstrClass::Load: return 0.93;
+        case InstrClass::Alu: return 0.90;
+        case InstrClass::Branch: return 0.88;
+    }
+    return 1.0;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(InstrClass c) {
+    switch (c) {
+        case InstrClass::Imul: return "imul";
+        case InstrClass::FpMul: return "fpmul";
+        case InstrClass::Load: return "load";
+        case InstrClass::Alu: return "alu";
+        case InstrClass::Branch: return "branch";
+    }
+    return "?";
+}
+
+}  // namespace pv::sim

@@ -1,0 +1,495 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pv::sim {
+namespace {
+
+std::uint64_t storage_key(unsigned core_id, std::uint32_t addr) {
+    return (static_cast<std::uint64_t>(core_id) << 32) | addr;
+}
+
+}  // namespace
+
+namespace {
+// The base rail is PCU-driven: short command latency, same slew class as
+// the offset path.
+RegulatorParams base_rail_params(const RegulatorParams& ocm) {
+    return RegulatorParams{.write_latency = microseconds(5.0),
+                           .slew_mv_per_us = ocm.slew_mv_per_us};
+}
+}  // namespace
+
+Machine::Machine(CpuProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)),
+      vf_(profile_.vf_curve()),
+      fault_model_(TimingModel{profile_.timing}, profile_.vf_curve()),
+      regulator_(profile_.regulator),
+      base_rail_(base_rail_params(profile_.regulator)),
+      power_(profile_.power),
+      thermal_(profile_.thermal),
+      rng_(seed) {
+    if (profile_.core_count == 0) throw ConfigError("profile has zero cores");
+    cores_.reserve(profile_.core_count);
+    for (unsigned i = 0; i < profile_.core_count; ++i)
+        cores_.emplace_back(i, profile_.freq_base);
+    requested_freq_.assign(profile_.core_count, profile_.freq_base);
+    base_rail_.force(VoltagePlane::Core, vf_.nominal(profile_.freq_base));
+    // Sanity: the machine must boot into a safe state at every table
+    // frequency, or the profile is miscalibrated.
+    for (const Megahertz f : profile_.frequency_table()) {
+        if (fault_model_.would_crash(f, vf_.nominal(f)))
+            throw ConfigError("profile crashes at nominal voltage, f=" +
+                              std::to_string(f.value()) + " MHz");
+    }
+}
+
+Core& Machine::core(unsigned id) {
+    if (id >= cores_.size()) throw ConfigError("core id out of range");
+    return cores_[id];
+}
+
+const Core& Machine::core(unsigned id) const {
+    if (id >= cores_.size()) throw ConfigError("core id out of range");
+    return cores_[id];
+}
+
+Megahertz Machine::snap_to_table(Megahertz f) const {
+    const double step = profile_.freq_step.value();
+    double snapped = std::round(f.value() / step) * step;
+    snapped = std::clamp(snapped, profile_.freq_min.value(), profile_.freq_max.value());
+    return Megahertz{snapped};
+}
+
+void Machine::set_core_frequency(unsigned id, Megahertz f) {
+    Core& c = core(id);  // bounds check before touching requested_freq_
+    f = snap_to_table(f);
+    requested_freq_[id] = f;
+    // Lowering (or equal) is the safe direction: switch immediately, the
+    // rail sags afterwards.  Raises wait for the rail (voltage-first).
+    if (f <= c.frequency()) c.set_frequency(f);
+    update_rail_target();
+    maybe_crash();
+}
+
+void Machine::set_all_frequencies(Megahertz f) {
+    f = snap_to_table(f);
+    for (auto& c : cores_) {
+        requested_freq_[c.id()] = f;
+        if (f <= c.frequency()) c.set_frequency(f);
+    }
+    update_rail_target();
+    maybe_crash();
+}
+
+Megahertz Machine::requested_frequency(unsigned id) const {
+    if (id >= requested_freq_.size()) throw ConfigError("core id out of range");
+    return requested_freq_[id];
+}
+
+void Machine::update_rail_target() {
+    // C6 cores are power-gated and do not constrain the rail; C0 and C1
+    // (merely clock-gated) do.
+    Megahertz want = profile_.freq_min;
+    for (const auto& c : cores_)
+        if (c.cstate() != CState::C6)
+            want = std::max(want, requested_freq_[c.id()]);
+    const Millivolts target = vf_.nominal(want);
+    if (base_rail_.target(VoltagePlane::Core) != target)
+        base_rail_.write(VoltagePlane::Core, target, clock_);
+
+    bool pending = false;
+    for (const auto& c : cores_)
+        if (requested_freq_[c.id()] > c.frequency()) pending = true;
+    if (!pending) return;
+    const Picoseconds ready = base_rail_.settle_time(VoltagePlane::Core);
+    if (ready <= clock_) {
+        apply_pending_raises();
+    } else {
+        events_.schedule(ready, [this] { apply_pending_raises(); });
+    }
+}
+
+void Machine::apply_pending_raises() {
+    Megahertz want = profile_.freq_min;
+    for (const auto& c : cores_)
+        if (c.cstate() != CState::C6)
+            want = std::max(want, requested_freq_[c.id()]);
+    // The switch is gated on the TOTAL rail (base + OCM offset) reaching
+    // the commanded operating voltage for the new P-state.  Gating on the
+    // base alone would raise frequency while a deep offset is still
+    // ramping out — a transition window real FIVR sequencing does not
+    // have.  A stale completion event (target moved) just re-arms itself.
+    const Millivolts target_total =
+        vf_.nominal(want) + regulator_.target(VoltagePlane::Core);
+    if (package_voltage() + Millivolts{0.01} < target_total) {
+        const Picoseconds ready = rail_settle_time();
+        if (ready > clock_) events_.schedule(ready, [this] { apply_pending_raises(); });
+        return;
+    }
+    for (auto& c : cores_)
+        if (c.cstate() != CState::C6 && requested_freq_[c.id()] > c.frequency())
+            c.set_frequency(requested_freq_[c.id()]);
+    maybe_crash();
+}
+
+void Machine::enter_cstate(unsigned id, CState state) {
+    Core& c = core(id);
+    if (state == CState::C0) {
+        wake_core(id);
+        return;
+    }
+    c.set_cstate(state);
+    // Dropping a constraint may let the rail sag (power saving).
+    update_rail_target();
+}
+
+void Machine::wake_core(unsigned id) {
+    Core& c = core(id);
+    if (c.cstate() == CState::C0) return;
+    const Picoseconds latency = c.cstate() == CState::C6
+                                    ? profile_.cstates.c6_exit_latency
+                                    : profile_.cstates.c1_exit_latency;
+    c.add_steal(latency);
+    c.set_cstate(CState::C0);
+    // The rail may have sagged while this core slept: come up at the
+    // fastest P-state the rail supports right now; the original request
+    // re-arms a voltage-first raise for the rest.
+    const Megahertz supported = vf_.max_supported(
+        base_rail_.offset_at(VoltagePlane::Core, clock_));
+    c.set_frequency(snap_to_table(std::min(requested_freq_[id], supported)));
+    update_rail_target();
+    maybe_crash();
+}
+
+Picoseconds Machine::rail_settle_time() const {
+    // Pending frequency raises switch exactly when the base rail settles,
+    // so the max over the base rail and every fault-relevant offset
+    // plane covers them.
+    return std::max({base_rail_.settle_time(VoltagePlane::Core),
+                     regulator_.settle_time(VoltagePlane::Core),
+                     regulator_.settle_time(VoltagePlane::Cache)});
+}
+
+Megahertz Machine::max_active_frequency() const {
+    Megahertz best = profile_.freq_min;
+    bool any_active = false;
+    for (const auto& c : cores_) {
+        if (c.power_state() != PowerState::Active) continue;
+        any_active = true;
+        best = std::max(best, c.frequency());
+    }
+    return any_active ? best : profile_.freq_min;
+}
+
+Millivolts Machine::package_voltage() const { return voltage_at(clock_); }
+
+Millivolts Machine::plane_voltage(VoltagePlane plane) const {
+    return base_rail_.offset_at(VoltagePlane::Core, clock_) +
+           regulator_.offset_at(plane, clock_);
+}
+
+Millivolts Machine::voltage_at(Picoseconds t) const {
+    return base_rail_.offset_at(VoltagePlane::Core, t) +
+           regulator_.offset_at(VoltagePlane::Core, t);
+}
+
+double Machine::leakage_scale() const {
+    unsigned leaking = 0;
+    for (const auto& c : cores_)
+        if (c.cstate() != CState::C6) ++leaking;
+    const double core_share = profile_.cstates.core_leak_share;
+    return (1.0 - core_share) +
+           core_share * static_cast<double>(leaking) / static_cast<double>(cores_.size());
+}
+
+void Machine::integrate_power_to(Picoseconds t) {
+    // Linear interpolation between the endpoint voltages; ramp kinks
+    // inside the window introduce a negligible quadratic-term error.
+    power_.integrate_leakage(clock_, t, voltage_at(clock_), voltage_at(t), leakage_scale());
+    // Feed the thermal RC model with the window's average power (dynamic
+    // energy from retires since the last update is included).
+    const double dt_s = (t - clock_).seconds();
+    if (dt_s > 0.0) {
+        const double avg_w = (power_.total_joules() - energy_at_thermal_update_) / dt_s;
+        thermal_.update(t, avg_w);
+        energy_at_thermal_update_ = power_.total_joules();
+    }
+}
+
+Millivolts Machine::applied_offset(VoltagePlane plane) const {
+    return regulator_.offset_at(plane, clock_);
+}
+
+void Machine::maybe_crash() {
+    if (crashed_) return;
+    const Megahertz f = max_active_frequency();
+    const double scale = thermal_.delay_scale();
+    const Millivolts v_core = plane_voltage(VoltagePlane::Core);
+    if (fault_model_.would_crash(f, v_core, scale)) {
+        crash("undervolt crash: control-path timing violated at " +
+              std::to_string(f.value()) + " MHz / " + std::to_string(v_core.value()) +
+              " mV (core plane)");
+        return;
+    }
+    // The cache plane feeds the (shorter) load path; kernel data accesses
+    // corrupt and panic once it deterministically violates timing.
+    const Millivolts v_cache = plane_voltage(VoltagePlane::Cache);
+    if (fault_model_.would_crash(f, v_cache, scale * path_factor(InstrClass::Load))) {
+        crash("undervolt crash: cache-path timing violated at " +
+              std::to_string(f.value()) + " MHz / " + std::to_string(v_cache.value()) +
+              " mV (cache plane)");
+    }
+}
+
+void Machine::advance_to(Picoseconds t) {
+    if (t < clock_) throw SimError("advance_to into the past");
+    if (crashed_) return;
+    while (!events_.empty() && events_.next_time() <= t) {
+        const Picoseconds et = events_.next_time();
+        integrate_power_to(et);
+        clock_ = et;
+        // The rail ramps monotonically between events, so its extreme
+        // value inside (prev, et] is reached at et: check before and
+        // after dispatching the events at et.
+        maybe_crash();
+        if (crashed_) return;
+        events_.run_until(et);
+        maybe_crash();
+        if (crashed_) return;
+    }
+    integrate_power_to(t);
+    clock_ = t;
+    maybe_crash();
+}
+
+std::uint64_t Machine::read_msr(unsigned core_id, std::uint32_t addr) const {
+    const Core& c = core(core_id);
+    switch (addr) {
+        case kMsrPerfStatus: {
+            const auto ratio =
+                static_cast<std::uint64_t>(std::llround(c.frequency().value() / 100.0)) & 0xFF;
+            const double volts = package_voltage().volts();
+            const auto vid =
+                static_cast<std::uint64_t>(std::llround(volts * 8192.0)) & 0xFFFF;
+            return (vid << 32) | (ratio << 8);
+        }
+        case kMsrOcMailbox: {
+            // Read-back reports the DEEPEST MAILBOX-commanded offset
+            // across the fault-relevant planes with its plane id (the
+            // OCM per-plane read loop collapsed to its observable
+            // effect).  Deliberately NOT the live regulator target: a
+            // hardware SVID interposer (VoltPillager) moves the rail
+            // without leaving any mailbox trace.
+            const Millivolts core_t =
+                mailbox_target_[static_cast<std::size_t>(VoltagePlane::Core)];
+            const Millivolts cache_t =
+                mailbox_target_[static_cast<std::size_t>(VoltagePlane::Cache)];
+            return cache_t < core_t ? encode_offset(cache_t, VoltagePlane::Cache)
+                                    : encode_offset(core_t, VoltagePlane::Core);
+        }
+        case kMsrPerfCtl: {
+            const auto ratio =
+                static_cast<std::uint64_t>(std::llround(requested_freq_[core_id].value() / 100.0)) &
+                0xFF;
+            return ratio << 8;
+        }
+        case kMsrVoltageOffsetLimit: {
+            const auto it = msr_storage_.find(storage_key(0, addr));  // package scope
+            return it == msr_storage_.end() ? 0 : it->second;
+        }
+        case kMsrRaplPowerUnit:
+            return PowerModel::rapl_power_unit();
+        case kMsrPkgEnergyStatus:
+            return power_.rapl_energy_status();
+        case kMsrThermStatus:
+            return thermal_.therm_status_msr();
+        case kMsrTemperatureTarget:
+            return thermal_.temperature_target_msr();
+        default: {
+            const auto it = msr_storage_.find(storage_key(core_id, addr));
+            return it == msr_storage_.end() ? 0 : it->second;
+        }
+    }
+}
+
+bool Machine::write_msr(unsigned core_id, std::uint32_t addr, std::uint64_t value) {
+    if (crashed_) return false;
+    (void)core(core_id);  // bounds check
+    for (auto& [token, hook] : write_hooks_) {
+        (void)token;
+        if (hook(core_id, addr, value) == MsrWriteAction::Ignore) return false;
+    }
+    apply_msr_semantics(core_id, addr, value);
+    return true;
+}
+
+void Machine::apply_msr_semantics(unsigned core_id, std::uint32_t addr, std::uint64_t value) {
+    switch (addr) {
+        case kMsrOcMailbox: {
+            const auto req = decode_offset(value);
+            if (req && req->command && req->write_enable) {
+                regulator_.write(req->plane, req->offset, clock_);
+                mailbox_target_[static_cast<std::size_t>(req->plane)] = req->offset;
+            }
+            break;
+        }
+        case kMsrPerfCtl: {
+            const auto ratio = (value >> 8) & 0xFF;
+            set_core_frequency(core_id, Megahertz{static_cast<double>(ratio) * 100.0});
+            break;
+        }
+        case kMsrVoltageOffsetLimit:
+            msr_storage_[storage_key(0, addr)] = value;  // package scope
+            break;
+        default:
+            msr_storage_[storage_key(core_id, addr)] = value;
+            break;
+    }
+}
+
+std::size_t Machine::add_write_hook(WriteHook hook) {
+    const std::size_t token = next_hook_token_++;
+    write_hooks_.emplace_back(token, std::move(hook));
+    return token;
+}
+
+void Machine::remove_write_hook(std::size_t token) {
+    std::erase_if(write_hooks_, [token](const auto& p) { return p.first == token; });
+}
+
+double Machine::fault_probability(unsigned core_id, InstrClass c) const {
+    // Loads traverse the cache SRAM: they fault with the CACHE plane's
+    // rail; every other class with the core plane's.
+    const VoltagePlane plane =
+        c == InstrClass::Load ? VoltagePlane::Cache : VoltagePlane::Core;
+    return fault_model_.fault_probability(core(core_id).frequency(), plane_voltage(plane),
+                                          c, thermal_.delay_scale());
+}
+
+BatchResult Machine::run_batch(unsigned core_id, InstrClass c, std::uint64_t n_ops, double cpi) {
+    if (cpi <= 0.0) throw ConfigError("cpi must be positive");
+    Core& cr = core(core_id);
+    BatchResult r;
+    r.started = clock_;
+    if (crashed_) {
+        r.crashed = true;
+        r.finished = clock_;
+        return r;
+    }
+    if (cr.cstate() != CState::C0) wake_core(core_id);
+
+    std::uint64_t remaining = n_ops;
+    while (remaining > 0 && !crashed_) {
+        // Kernel threads that fired during previous slices stole time.
+        const Picoseconds steal = cr.drain_steal(Picoseconds{INT64_MAX});
+        if (steal > Picoseconds{0}) {
+            advance(steal);
+            continue;
+        }
+
+        const double op_ps = cpi * cr.frequency().period_ps();
+        const bool ramping = clock_ < rail_settle_time();
+        Picoseconds slice = ramping ? microseconds(1.0) : microseconds(50.0);
+        const auto need =
+            Picoseconds{static_cast<std::int64_t>(std::ceil(static_cast<double>(remaining) * op_ps))};
+        slice = std::min(slice, need);
+        if (!events_.empty()) {
+            const Picoseconds until_event = events_.next_time() - clock_;
+            if (until_event <= Picoseconds{0}) {
+                advance_to(events_.next_time());  // fire due events first
+                continue;
+            }
+            slice = std::min(slice, until_event);
+        }
+
+        auto ops = static_cast<std::uint64_t>(static_cast<double>(slice.value()) / op_ps);
+        ops = std::min(ops, remaining);
+        if (ops == 0) {
+            ops = 1;
+            slice = Picoseconds{static_cast<std::int64_t>(std::ceil(op_ps))};
+        }
+
+        // Evaluate the rail at the slice midpoint (it ramps within slices).
+        const VoltagePlane plane =
+            c == InstrClass::Load ? VoltagePlane::Cache : VoltagePlane::Core;
+        const Picoseconds mid = clock_ + Picoseconds{slice.value() / 2};
+        const Millivolts v_mid = base_rail_.offset_at(VoltagePlane::Core, mid) +
+                                 regulator_.offset_at(plane, mid);
+        const double p =
+            fault_model_.fault_probability(cr.frequency(), v_mid, c, thermal_.delay_scale());
+        r.faults += fault_model_.sample_fault_count(rng_, ops, p);
+        power_.on_retire(ops, v_mid);
+        cr.retire(ops);
+        r.ops_done += ops;
+        remaining -= ops;
+        advance(slice);
+    }
+    r.crashed = crashed_;
+    r.finished = clock_;
+    return r;
+}
+
+bool Machine::execute_op(unsigned core_id, InstrClass c, double cpi) {
+    if (crashed_) return false;
+    Core& cr = core(core_id);
+    if (cr.cstate() != CState::C0) wake_core(core_id);
+    const Picoseconds steal = cr.drain_steal(Picoseconds{INT64_MAX});
+    if (steal > Picoseconds{0}) advance(steal);
+    if (crashed_) return false;
+    const double p = fault_probability(core_id, c);
+    const bool faulted = rng_.uniform() < p;
+    const double op_ps = cpi * cr.frequency().period_ps();
+    power_.on_retire(1, package_voltage());
+    advance(Picoseconds{static_cast<std::int64_t>(std::ceil(op_ps))});
+    cr.retire(1);
+    return faulted && !crashed_;
+}
+
+ImulResult Machine::faulty_imul(unsigned core_id, std::uint64_t a, std::uint64_t b) {
+    ImulResult r;
+    r.value = a * b;  // wrapping 64-bit product, as the x86 imul r64 low half
+    r.faulted = execute_op(core_id, InstrClass::Imul, /*cpi=*/1.0);
+    if (r.faulted) r.value = fault_model_.corrupt_value(rng_, r.value);
+    return r;
+}
+
+std::uint64_t Machine::corrupt_value(std::uint64_t correct) {
+    return fault_model_.corrupt_value(rng_, correct);
+}
+
+void Machine::add_steal(unsigned core_id, Cycles cycles) {
+    Core& cr = core(core_id);
+    cr.add_steal(cycles.at(cr.frequency()));
+}
+
+void Machine::crash(std::string reason) {
+    if (crashed_) return;
+    crashed_ = true;
+    crash_reason_ = std::move(reason);
+    crash_time_ = clock_;
+}
+
+void Machine::reboot() {
+    crashed_ = false;
+    crash_reason_.clear();
+    events_.clear();
+    regulator_.reset();
+    base_rail_.reset();
+    base_rail_.force(VoltagePlane::Core, vf_.nominal(profile_.freq_base));
+    msr_storage_.clear();
+    mailbox_target_ = {};
+    requested_freq_.assign(profile_.core_count, profile_.freq_base);
+    for (auto& c : cores_) c.reset(profile_.freq_base);
+    power_.reset();  // RAPL counters clear at boot
+    thermal_.reset();
+    energy_at_thermal_update_ = 0.0;
+    clock_ += reboot_delay_;
+    ++boot_count_;
+    for (const auto& cb : reset_callbacks_) cb();
+}
+
+}  // namespace pv::sim

@@ -1,0 +1,266 @@
+// PlugVolt — the simulated package.
+//
+// Machine is the substrate every other layer runs on: it owns the cores,
+// the package voltage regulator, the MSR surface (0x150 overclocking
+// mailbox, 0x198 IA32_PERF_STATUS, 0x199 IA32_PERF_CTL, the hypothetical
+// MSR_VOLTAGE_OFFSET_LIMIT), the discrete-event queue and the fault
+// physics.  It is single-threaded and deterministic for a given seed.
+//
+// Faithfulness notes mirrored from real Intel behaviour:
+//  - MSR 0x150 is *package* scope; the undervolt offset applies to every
+//    core.  Frequency (0x199) is per-core.
+//  - The package rail follows the fastest active core's VF point; the
+//    OCM offset is added on top.  This is why attacks pin all cores to
+//    the target frequency before undervolting.
+//  - P-state transitions are sequenced by the (modeled) PCU the way real
+//    hardware does it: on a frequency RAISE the rail ramps up to the new
+//    P-state's nominal voltage first and the frequency switches only
+//    when the rail is ready; a frequency LOWER takes effect immediately
+//    (safe direction) and the rail sags afterwards.  This sequencing is
+//    load-bearing for the defense analysis: it is the physical delay a
+//    polling countermeasure races against on VoltJockey-style attacks.
+//  - wrmsr can be interposed: write hooks model microcode assists and
+//    hardware clamps (the paper's Sec. 5 deployments) as well as Intel's
+//    SA-00289 access-control patch.
+//  - A deep enough undervolt does not compute wrong values politely —
+//    it crashes the machine.  Machine exposes reboot() and an on-reset
+//    callback list so persistent services (the polling module) can
+//    re-arm, exactly like a module loaded at boot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/core.hpp"
+#include "sim/cpu_profile.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/instr.hpp"
+#include "sim/ocm.hpp"
+#include "sim/power.hpp"
+#include "sim/thermal.hpp"
+#include "sim/voltage_regulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pv::sim {
+
+/// Verdict of a wrmsr write hook.
+enum class MsrWriteAction {
+    Allow,   ///< proceed (the hook may have mutated the value — a clamp)
+    Ignore,  ///< drop the write silently (microcode write-ignore)
+};
+
+/// Result of running a batch of identical operations on one core.
+struct BatchResult {
+    std::uint64_t ops_done = 0;
+    std::uint64_t faults = 0;
+    bool crashed = false;
+    Picoseconds started{};
+    Picoseconds finished{};
+};
+
+/// Result of one faultable 64x64 multiply.
+struct ImulResult {
+    std::uint64_t value = 0;
+    bool faulted = false;
+};
+
+/// The simulated package (cores + regulator + MSRs + physics + clock).
+class Machine {
+public:
+    using WriteHook =
+        std::function<MsrWriteAction(unsigned core_id, std::uint32_t addr, std::uint64_t& value)>;
+    using ResetCallback = std::function<void()>;
+
+    Machine(CpuProfile profile, std::uint64_t seed);
+
+    // --- identity & time -------------------------------------------------
+    [[nodiscard]] const CpuProfile& profile() const { return profile_; }
+    [[nodiscard]] Picoseconds now() const { return clock_; }
+    [[nodiscard]] EventQueue& events() { return events_; }
+
+    /// Advance the clock to absolute time `t`, dispatching due events and
+    /// checking for undervolt crashes at every event boundary.  Stops
+    /// early (clock frozen at crash time) if the machine crashes.
+    void advance_to(Picoseconds t);
+    void advance(Picoseconds dt) { advance_to(clock_ + dt); }
+
+    // --- cores & frequency -----------------------------------------------
+    [[nodiscard]] unsigned core_count() const { return static_cast<unsigned>(cores_.size()); }
+    [[nodiscard]] Core& core(unsigned id);
+    [[nodiscard]] const Core& core(unsigned id) const;
+
+    /// Request a core's P-state frequency, snapped to the 100 MHz table
+    /// and clamped to the profile's range.  Lowering takes effect
+    /// immediately; raising is voltage-first: the effective frequency
+    /// switches only once the rail has ramped to the new nominal.
+    void set_core_frequency(unsigned id, Megahertz f);
+
+    /// Request every core's frequency (what `cpupower` does by default).
+    void set_all_frequencies(Megahertz f);
+
+    /// The last requested (PERF_CTL) frequency for a core; may be above
+    /// the effective frequency while a raise is pending on the rail.
+    [[nodiscard]] Megahertz requested_frequency(unsigned id) const;
+
+    /// Fastest effective frequency among active cores.
+    [[nodiscard]] Megahertz max_active_frequency() const;
+
+    // --- idle states ---------------------------------------------------
+    /// Put a core into an idle state.  C6 power-gates it: its leakage
+    /// stops and it no longer constrains the package rail.  Entering C0
+    /// is equivalent to wake_core().
+    void enter_cstate(unsigned id, CState state);
+
+    /// Wake a core to C0.  Exit latency is charged as stolen time, and a
+    /// core waking onto a sagged rail comes up at the highest P-state
+    /// the rail supports right now (its request re-arms the PCU raise).
+    void wake_core(unsigned id);
+
+    /// Time when both rails (base P-state rail and OCM offset) settle
+    /// and any pending frequency raise has switched.
+    [[nodiscard]] Picoseconds rail_settle_time() const;
+
+    // --- voltage -----------------------------------------------------------
+    /// Package core-plane voltage right now: the base P-state rail plus
+    /// the applied OCM offset.
+    [[nodiscard]] Millivolts package_voltage() const;
+
+    /// Voltage of a specific plane (base rail + that plane's offset).
+    /// Only the Core and Cache planes feed modeled fault paths: loads
+    /// traverse the cache SRAM, everything else the core logic.
+    [[nodiscard]] Millivolts plane_voltage(VoltagePlane plane) const;
+
+    /// Currently applied (post-ramp) offset on a plane.
+    [[nodiscard]] Millivolts applied_offset(VoltagePlane plane) const;
+
+    [[nodiscard]] VoltageRegulator& regulator() { return regulator_; }
+    [[nodiscard]] const VoltageRegulator& regulator() const { return regulator_; }
+
+    // --- MSR surface --------------------------------------------------------
+    /// Architectural rdmsr.  0x198 is synthesized from live state; 0x150
+    /// reads back the current core-plane target offset.
+    [[nodiscard]] std::uint64_t read_msr(unsigned core_id, std::uint32_t addr) const;
+
+    /// Architectural wrmsr.  Returns true if the write took effect;
+    /// false if an installed hook (microcode/hardware countermeasure,
+    /// access-control patch) ignored it.
+    bool write_msr(unsigned core_id, std::uint32_t addr, std::uint64_t value);
+
+    /// Interpose on wrmsr (hooks run in registration order).  Returns a
+    /// token for removal.
+    std::size_t add_write_hook(WriteHook hook);
+    void remove_write_hook(std::size_t token);
+
+    // --- execution -----------------------------------------------------------
+    /// Run `n_ops` operations of class `c` back-to-back on a core,
+    /// advancing simulated time (slice-wise, so concurrent events — e.g.
+    /// a polling kthread — interleave correctly and voltage ramps are
+    /// sampled finely).  `cpi` is cycles per operation.
+    BatchResult run_batch(unsigned core_id, InstrClass c, std::uint64_t n_ops, double cpi = 1.0);
+
+    /// Execute one operation; returns whether it faulted.
+    bool execute_op(unsigned core_id, InstrClass c, double cpi = 1.0);
+
+    /// One faultable 64x64->64 multiply on a core (wrapping semantics);
+    /// faults corrupt the product the way undervolted multipliers do.
+    ImulResult faulty_imul(unsigned core_id, std::uint64_t a, std::uint64_t b);
+
+    /// Charge kernel work to a core; concurrently running workload
+    /// windows observe it as stolen time.
+    void add_steal(unsigned core_id, Cycles cycles);
+
+    // --- physics ----------------------------------------------------------------
+    [[nodiscard]] const FaultModel& fault_model() const { return fault_model_; }
+
+    /// Package energy accounting (also exposed via the RAPL MSRs 0x606
+    /// and 0x611): dynamic energy per retired instruction at the live
+    /// rail voltage plus continuously integrated leakage.
+    [[nodiscard]] const PowerModel& power() const { return power_; }
+
+    /// Die thermal state (exposed via IA32_THERM_STATUS 0x19C and
+    /// IA32_TEMPERATURE_TARGET 0x1A2).  Hot silicon is slower: the
+    /// fault physics consume thermal().delay_scale().
+    [[nodiscard]] const ThermalModel& thermal() const { return thermal_; }
+
+    /// Pin the die temperature (test/bench hook for preheated parts).
+    void set_die_temperature(double celsius) { thermal_.force_temperature(celsius); }
+
+    /// Instantaneous per-op fault probability on a core.
+    [[nodiscard]] double fault_probability(unsigned core_id, InstrClass c) const;
+
+    /// Corrupt a value the way an undervolt fault would (drawing from
+    /// this machine's deterministic fault-sampling stream).
+    [[nodiscard]] std::uint64_t corrupt_value(std::uint64_t correct);
+
+    // --- crash / reboot ------------------------------------------------------------
+    [[nodiscard]] bool crashed() const { return crashed_; }
+    [[nodiscard]] const std::string& crash_reason() const { return crash_reason_; }
+    [[nodiscard]] Picoseconds crash_time() const { return crash_time_; }
+
+    /// Record a crash (undervolt past the control-path boundary, triple
+    /// fault, ...).  Freezes execution until reboot().
+    void crash(std::string reason);
+
+    /// Reboot after a crash (or at will): restores boot defaults, clears
+    /// the event queue, advances the clock by the boot delay and fires
+    /// on-reset callbacks so persistent services re-arm.
+    void reboot();
+
+    /// Number of completed boots (starts at 1).
+    [[nodiscard]] unsigned boot_count() const { return boot_count_; }
+
+    /// Register a callback fired at the end of every reboot().
+    void on_reset(ResetCallback cb) { reset_callbacks_.push_back(std::move(cb)); }
+
+    /// Simulated boot duration charged by reboot().
+    [[nodiscard]] Picoseconds reboot_delay() const { return reboot_delay_; }
+    void set_reboot_delay(Picoseconds d) { reboot_delay_ = d; }
+
+private:
+    void maybe_crash();
+    [[nodiscard]] double leakage_scale() const;
+    [[nodiscard]] Megahertz snap_to_table(Megahertz f) const;
+    void apply_msr_semantics(unsigned core_id, std::uint32_t addr, std::uint64_t value);
+    void update_rail_target();
+    void apply_pending_raises();
+    [[nodiscard]] Millivolts voltage_at(Picoseconds t) const;
+    void integrate_power_to(Picoseconds t);
+
+    CpuProfile profile_;
+    VfCurve vf_;
+    FaultModel fault_model_;
+    VoltageRegulator regulator_;   // OCM offset planes (with write latency)
+    VoltageRegulator base_rail_;   // absolute P-state rail (PCU-sequenced)
+    PowerModel power_;
+    ThermalModel thermal_;
+    double energy_at_thermal_update_ = 0.0;
+    std::vector<Core> cores_;
+    std::vector<Megahertz> requested_freq_;
+    EventQueue events_;
+    Rng rng_;
+    Picoseconds clock_{};
+
+    std::unordered_map<std::uint64_t, std::uint64_t> msr_storage_;  // key: core<<32 | addr
+    // What the MAILBOX was commanded per plane.  Normally equals the
+    // regulator target; diverges under hardware (SVID bus) injection,
+    // which is exactly what mailbox readback cannot see.
+    std::array<Millivolts, 5> mailbox_target_{};
+    std::vector<std::pair<std::size_t, WriteHook>> write_hooks_;
+    std::size_t next_hook_token_ = 0;
+
+    bool crashed_ = false;
+    std::string crash_reason_;
+    Picoseconds crash_time_{};
+    unsigned boot_count_ = 1;
+    Picoseconds reboot_delay_ = milliseconds(100.0);
+    std::vector<ResetCallback> reset_callbacks_;
+};
+
+}  // namespace pv::sim

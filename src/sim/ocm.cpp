@@ -1,0 +1,52 @@
+#include "sim/ocm.hpp"
+
+#include <cmath>
+
+namespace pv::sim {
+namespace {
+
+constexpr std::uint64_t kOffsetMask = 0xFFE00000ULL;           // bits 21-31
+constexpr std::uint64_t kWriteEnableBit = 1ULL << 32;
+constexpr std::uint64_t kMailboxFixedBits = 0x8000001100000000ULL;  // bits 63, 36, 32
+constexpr std::uint64_t kCommandBit = 1ULL << 63;
+
+}  // namespace
+
+std::uint64_t encode_offset(Millivolts offset, VoltagePlane plane) {
+    // 1/1024 V steps with truncation toward zero — this matches the
+    // integer arithmetic of the paper's Algorithm 1 (and Plundervolt's
+    // published PoC), which is what the cross-validation tests rely on.
+    double steps_f = std::trunc(offset.value() * 1024.0 / 1000.0);
+    if (steps_f < -1024.0) steps_f = -1024.0;
+    if (steps_f > 1023.0) steps_f = 1023.0;
+    const auto steps = static_cast<std::int64_t>(steps_f);
+    const std::uint64_t field = static_cast<std::uint64_t>(steps) & 0x7FFULL;
+    return (field << 21) | kMailboxFixedBits |
+           (static_cast<std::uint64_t>(plane) << 40);
+}
+
+std::uint64_t algo1_offset_voltage(int offset_mv, unsigned plane) {
+    // Literal transcription of Algorithm 1.
+    std::int64_t val = static_cast<std::int64_t>(offset_mv) * 1024 / 1000;
+    std::uint64_t uval = kOffsetMask & ((static_cast<std::uint64_t>(val) & 0xFFFULL) << 21);
+    uval = uval | kMailboxFixedBits;
+    uval = uval | (static_cast<std::uint64_t>(plane) << 40);
+    return uval;
+}
+
+std::optional<OcmRequest> decode_offset(std::uint64_t raw) {
+    const std::uint64_t plane_field = (raw >> 40) & 0x7ULL;
+    if (plane_field > 4) return std::nullopt;
+
+    std::int64_t steps = static_cast<std::int64_t>((raw >> 21) & 0x7FFULL);
+    if (steps & 0x400) steps -= 0x800;  // sign-extend 11 bits
+
+    OcmRequest req;
+    req.plane = static_cast<VoltagePlane>(plane_field);
+    req.offset = Millivolts{static_cast<double>(steps) * 1000.0 / 1024.0};
+    req.write_enable = (raw & kWriteEnableBit) != 0;
+    req.command = (raw & kCommandBit) != 0;
+    return req;
+}
+
+}  // namespace pv::sim

@@ -1,0 +1,71 @@
+// PlugVolt — overclocking mailbox (MSR 0x150) encoding.
+//
+// Implements the bit layout reverse-engineered by Plundervolt and
+// reproduced in Table 1 of the paper:
+//
+//   bits  0-20  reserved
+//   bits 21-31  voltage offset, 11-bit two's complement, units of 1/1024 V
+//   bit     32  write-enable
+//   bits 33-39  reserved
+//   bits 40-42  plane select (0 core, 1 GPU, 2 cache, 3 uncore, 4 AIO)
+//   bits 43-62  reserved
+//   bit     63  mailbox busy/command bit — must be set for a write
+//
+// Two encoders are provided: `encode_offset` (the library API) and
+// `algo1_offset_voltage` (a literal transcription of the paper's
+// Algorithm 1, kept for cross-validation in tests and the Table 1 bench).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/units.hpp"
+
+namespace pv::sim {
+
+/// Voltage planes addressable through the mailbox.
+enum class VoltagePlane : std::uint8_t {
+    Core = 0,
+    Gpu = 1,
+    Cache = 2,
+    Uncore = 3,
+    AnalogIo = 4,
+};
+
+/// Decoded contents of an MSR 0x150 write.
+struct OcmRequest {
+    VoltagePlane plane = VoltagePlane::Core;
+    /// Requested offset relative to the base voltage (negative = undervolt).
+    Millivolts offset{};
+    /// Whether the write-enable bit (32) was set.
+    bool write_enable = false;
+    /// Whether the command bit (63) was set.
+    bool command = false;
+};
+
+/// MSR index of the overclocking mailbox.
+inline constexpr std::uint32_t kMsrOcMailbox = 0x150;
+/// MSR index of IA32_PERF_STATUS (frequency ratio + measured voltage).
+inline constexpr std::uint32_t kMsrPerfStatus = 0x198;
+/// MSR index of IA32_PERF_CTL (requested performance state).
+inline constexpr std::uint32_t kMsrPerfCtl = 0x199;
+/// Hypothetical MSR_VOLTAGE_OFFSET_LIMIT proposed in Sec. 5.2 of the
+/// paper (analogous to DRAM_MIN_PWR in MSR_DRAM_POWER_INFO).  The index
+/// is outside Intel's allocated ranges on purpose.
+inline constexpr std::uint32_t kMsrVoltageOffsetLimit = 0x1F0;
+
+/// Encode a mailbox write for `offset` on `plane` with write-enable and
+/// command bits set.  Offsets are clamped to the representable 11-bit
+/// two's-complement range (−1024..+1023 in 1/1024 V steps).
+[[nodiscard]] std::uint64_t encode_offset(Millivolts offset, VoltagePlane plane);
+
+/// Literal transcription of the paper's Algorithm 1 (offset in integer
+/// millivolts, plane as raw index).  Produces bit-identical values to
+/// `encode_offset` for the offsets the paper sweeps (0..−300 mV).
+[[nodiscard]] std::uint64_t algo1_offset_voltage(int offset_mv, unsigned plane);
+
+/// Decode a raw 0x150 value.  Returns std::nullopt if the plane field
+/// holds an unassigned index (5-7).
+[[nodiscard]] std::optional<OcmRequest> decode_offset(std::uint64_t raw);
+
+}  // namespace pv::sim

@@ -1,0 +1,70 @@
+// PlugVolt — package power/energy model with RAPL reporting.
+//
+// Undervolting exists because dynamic energy scales with V^2: every
+// retired instruction costs  E_dyn = EPI * V^2  and the package leaks
+// P_leak = L * V^2  continuously.  This model accumulates both — retire
+// events at the instantaneous rail voltage, leakage integrated exactly
+// over the regulator's linear ramps — and exposes the total through the
+// RAPL MSR surface (MSR_RAPL_POWER_UNIT 0x606 / MSR_PKG_ENERGY_STATUS
+// 0x611), so "how much battery does PlugVolt's clamp cost me?" is a
+// measurable question (see bench_energy).
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace pv::sim {
+
+/// Per-profile energy coefficients.
+struct PowerParams {
+    /// Dynamic energy per retired instruction at 1 V, in nanojoules.
+    double epi_nj_per_v2 = 0.35;
+    /// Package leakage power at 1 V, in milliwatts.
+    double leak_mw_per_v2 = 900.0;
+};
+
+/// MSR indices of the modeled RAPL interface.
+inline constexpr std::uint32_t kMsrRaplPowerUnit = 0x606;
+inline constexpr std::uint32_t kMsrPkgEnergyStatus = 0x611;
+
+/// Accumulates package energy.
+class PowerModel {
+public:
+    explicit PowerModel(PowerParams params);
+
+    /// Charge dynamic energy for `n` instructions retired at rail
+    /// voltage `v`.
+    void on_retire(std::uint64_t n, Millivolts v);
+
+    /// Integrate leakage over [from, to] with the rail moving linearly
+    /// from `v_from` to `v_to` (exact for the quadratic integrand).
+    /// `scale` discounts power-gated cores (C6): 1.0 = whole package.
+    void integrate_leakage(Picoseconds from, Picoseconds to, Millivolts v_from,
+                           Millivolts v_to, double scale = 1.0);
+
+    /// Total accumulated energy in joules.
+    [[nodiscard]] double total_joules() const { return dynamic_j_ + leakage_j_; }
+    [[nodiscard]] double dynamic_joules() const { return dynamic_j_; }
+    [[nodiscard]] double leakage_joules() const { return leakage_j_; }
+
+    /// MSR_PKG_ENERGY_STATUS: 32-bit counter in units of 2^-14 J,
+    /// wrapping like the real register.
+    [[nodiscard]] std::uint32_t rapl_energy_status() const;
+
+    /// MSR_RAPL_POWER_UNIT with the energy-status unit field (bits 12:8)
+    /// encoding 2^-14 J.
+    [[nodiscard]] static std::uint64_t rapl_power_unit();
+
+    /// Zero the accumulators (machine reboot).
+    void reset();
+
+    [[nodiscard]] const PowerParams& params() const { return params_; }
+
+private:
+    PowerParams params_;
+    double dynamic_j_ = 0.0;
+    double leakage_j_ = 0.0;
+};
+
+}  // namespace pv::sim

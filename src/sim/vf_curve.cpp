@@ -1,0 +1,43 @@
+#include "sim/vf_curve.hpp"
+
+#include "util/error.hpp"
+
+namespace pv::sim {
+
+VfCurve::VfCurve(std::vector<Point> points) : points_(std::move(points)) {
+    if (points_.size() < 2) throw ConfigError("VF curve needs at least two points");
+    for (std::size_t i = 1; i < points_.size(); ++i)
+        if (points_[i].freq <= points_[i - 1].freq)
+            throw ConfigError("VF curve points must be strictly increasing in frequency");
+}
+
+Millivolts VfCurve::nominal(Megahertz f) const {
+    if (f <= points_.front().freq) return points_.front().voltage;
+    if (f >= points_.back().freq) return points_.back().voltage;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (f <= points_[i].freq) {
+            const auto& lo = points_[i - 1];
+            const auto& hi = points_[i];
+            const double t = (f.value() - lo.freq.value()) / (hi.freq.value() - lo.freq.value());
+            return lo.voltage + (hi.voltage - lo.voltage) * t;
+        }
+    }
+    return points_.back().voltage;  // unreachable
+}
+
+Megahertz VfCurve::max_supported(Millivolts v) const {
+    if (v >= points_.back().voltage) return points_.back().freq;
+    if (v <= points_.front().voltage) return points_.front().freq;
+    for (std::size_t i = points_.size() - 1; i > 0; --i) {
+        const auto& lo = points_[i - 1];
+        const auto& hi = points_[i];
+        if (v < lo.voltage) continue;
+        // Invert the linear segment.
+        const double t = (v.value() - lo.voltage.value()) /
+                         (hi.voltage.value() - lo.voltage.value());
+        return Megahertz{lo.freq.value() + t * (hi.freq.value() - lo.freq.value())};
+    }
+    return points_.front().freq;
+}
+
+}  // namespace pv::sim

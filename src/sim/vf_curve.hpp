@@ -1,0 +1,45 @@
+// PlugVolt — nominal voltage/frequency curve.
+//
+// Each CPU generation ships a factory-fused mapping from frequency to
+// nominal core voltage (the "VF curve").  The OCM offset in MSR 0x150 is
+// applied *relative* to this curve — which is exactly the causal
+// independence the paper root-causes: software can move frequency along
+// the curve and voltage off the curve, independently.
+#pragma once
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pv::sim {
+
+/// Piecewise-linear nominal voltage as a function of core frequency.
+class VfCurve {
+public:
+    struct Point {
+        Megahertz freq;
+        Millivolts voltage;
+    };
+
+    /// Points must be strictly increasing in frequency; at least two are
+    /// required.  Throws ConfigError otherwise.
+    explicit VfCurve(std::vector<Point> points);
+
+    /// Nominal voltage at `f`; clamped extrapolation outside the table
+    /// (the regulator never commands below the first or above the last
+    /// fused point).
+    [[nodiscard]] Millivolts nominal(Megahertz f) const;
+
+    [[nodiscard]] Megahertz min_freq() const { return points_.front().freq; }
+    [[nodiscard]] Megahertz max_freq() const { return points_.back().freq; }
+
+    /// Largest frequency whose nominal voltage does not exceed `v`
+    /// (the P-state a core waking onto a partially-sagged rail can run
+    /// at immediately); the table minimum if even that needs more.
+    [[nodiscard]] Megahertz max_supported(Millivolts v) const;
+
+private:
+    std::vector<Point> points_;
+};
+
+}  // namespace pv::sim

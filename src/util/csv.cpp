@@ -1,0 +1,70 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pv {
+namespace {
+
+void emit_row(const std::vector<std::string>& row, std::ostringstream& os) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (row[i].find_first_of(",\n\"") != std::string::npos)
+            throw ConfigError("csv cell contains a delimiter: " + row[i]);
+        if (i) os << ',';
+        os << row[i];
+    }
+    os << '\n';
+}
+
+std::vector<std::string> split_row(const std::string& line) {
+    std::vector<std::string> cells;
+    std::string cell;
+    for (char ch : line) {
+        if (ch == ',') {
+            cells.push_back(cell);
+            cell.clear();
+        } else {
+            cell.push_back(ch);
+        }
+    }
+    cells.push_back(cell);
+    return cells;
+}
+
+}  // namespace
+
+std::string csv_write(const CsvDocument& doc) {
+    if (doc.header.empty()) throw ConfigError("csv document needs a header");
+    std::ostringstream os;
+    emit_row(doc.header, os);
+    for (const auto& row : doc.rows) {
+        if (row.size() != doc.header.size())
+            throw ConfigError("csv row width differs from header");
+        emit_row(row, os);
+    }
+    return os.str();
+}
+
+CsvDocument csv_parse(const std::string& text) {
+    CsvDocument doc;
+    std::istringstream is(text);
+    std::string line;
+    bool first = true;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        auto cells = split_row(line);
+        if (first) {
+            doc.header = std::move(cells);
+            first = false;
+        } else {
+            if (cells.size() != doc.header.size())
+                throw ConfigError("csv row width differs from header");
+            doc.rows.push_back(std::move(cells));
+        }
+    }
+    if (first) throw ConfigError("csv document is empty");
+    return doc;
+}
+
+}  // namespace pv

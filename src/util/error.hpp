@@ -1,0 +1,32 @@
+// PlugVolt — error types.
+//
+// Configuration and programming errors throw; domain outcomes (a fault, a
+// crash, an attestation failure) are values, never exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pv {
+
+/// Base class for all PlugVolt errors.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a component is constructed or used with inconsistent
+/// configuration (e.g. a frequency outside the profile's table).
+class ConfigError : public Error {
+public:
+    explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Thrown when a simulation invariant is violated — always a bug in the
+/// caller or the simulator, never an expected runtime condition.
+class SimError : public Error {
+public:
+    explicit SimError(const std::string& what) : Error("simulation error: " + what) {}
+};
+
+}  // namespace pv

@@ -1,0 +1,57 @@
+// PlugVolt — deterministic random number generation.
+//
+// Every stochastic component in the simulator (clock jitter, fault
+// sampling, workload noise) draws from an explicitly seeded Rng so that
+// experiments are reproducible bit-for-bit.  The generator is
+// xoshiro256** seeded through splitmix64, following the reference
+// implementations by Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+
+namespace pv {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+public:
+    /// Seeds the four words of state from `seed` via splitmix64.
+    explicit Rng(std::uint64_t seed);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [0, n).  `n` must be nonzero.
+    std::uint64_t uniform_below(std::uint64_t n);
+
+    /// Standard normal deviate (Box–Muller, one value per call).
+    double gaussian();
+
+    /// Normal deviate with the given mean and standard deviation.
+    double gaussian(double mean, double stddev);
+
+    /// Sample from Binomial(n, p).  Uses exact inversion for small
+    /// expected counts and a clamped normal approximation for large ones;
+    /// accurate enough for fault-count sampling where n is up to 1e6 and
+    /// p spans [1e-9, 1].
+    std::uint64_t binomial(std::uint64_t n, double p);
+
+    /// Sample from Poisson(lambda) via inversion (lambda <= ~30 expected).
+    std::uint64_t poisson(double lambda);
+
+    /// Derive an independent child generator; used to give each
+    /// subsystem its own stream from one experiment seed.
+    Rng fork();
+
+private:
+    std::uint64_t s_[4];
+    bool have_cached_gaussian_ = false;
+    double cached_gaussian_ = 0.0;
+};
+
+}  // namespace pv

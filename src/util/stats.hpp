@@ -1,0 +1,46 @@
+// PlugVolt — streaming statistics helpers used by the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pv {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+public:
+    /// Add one observation.
+    void add(double x);
+
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] double mean() const;
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Geometric mean of a set of positive values; throws ConfigError on an
+/// empty set or any non-positive value.
+[[nodiscard]] double geomean(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0,100]) by linear interpolation on a copy of
+/// the data; throws ConfigError on an empty set.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Standard normal cumulative distribution function.
+[[nodiscard]] double normal_cdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation);
+/// argument must lie strictly inside (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+}  // namespace pv

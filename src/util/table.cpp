@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pv {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    if (headers_.empty()) throw ConfigError("table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size())
+        throw ConfigError("table row has wrong number of cells");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+    return num(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& cells, std::ostringstream& os) {
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c];
+            os << std::string(widths[c] - cells[c].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    emit_row(headers_, os);
+    os << "|";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+    os << '\n';
+    for (const auto& row : rows_) emit_row(row, os);
+    return os.str();
+}
+
+}  // namespace pv

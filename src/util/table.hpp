@@ -1,0 +1,35 @@
+// PlugVolt — ASCII table rendering for the bench harnesses.
+//
+// The reproduction benches print paper-shaped tables (e.g. Table 2 rows);
+// this tiny formatter keeps that output aligned and consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pv {
+
+/// Column-aligned ASCII table builder.
+class Table {
+public:
+    /// Create a table with the given column headers.
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append a row; must have exactly as many cells as headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Format a double with fixed precision; helper for building cells.
+    [[nodiscard]] static std::string num(double v, int precision = 2);
+
+    /// Format a percentage ("-0.43%") with fixed precision.
+    [[nodiscard]] static std::string pct(double fraction, int precision = 2);
+
+    /// Render with column separators and a header underline.
+    [[nodiscard]] std::string render() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pv

@@ -1,0 +1,12 @@
+#include "util/units.hpp"
+
+#include <ostream>
+
+namespace pv {
+
+std::ostream& operator<<(std::ostream& os, Millivolts v) { return os << v.value() << " mV"; }
+std::ostream& operator<<(std::ostream& os, Megahertz f) { return os << f.value() << " MHz"; }
+std::ostream& operator<<(std::ostream& os, Picoseconds t) { return os << t.value() << " ps"; }
+std::ostream& operator<<(std::ostream& os, Cycles c) { return os << c.value() << " cyc"; }
+
+}  // namespace pv

@@ -1,0 +1,130 @@
+// PlugVolt — strong unit types.
+//
+// The simulator mixes quantities that are all "just numbers" at the ABI
+// level (millivolts, megahertz, picoseconds, cycles).  Mixing them up is
+// exactly the class of bug a DVFS model cannot afford, so each physical
+// dimension gets its own vocabulary type.  Conversions are explicit and
+// named; arithmetic is restricted to operations that make dimensional
+// sense.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace pv {
+
+/// A voltage expressed in millivolts.  Negative values are meaningful
+/// (undervolt offsets written to MSR 0x150 are negative).
+class Millivolts {
+public:
+    constexpr Millivolts() = default;
+    constexpr explicit Millivolts(double mv) : mv_(mv) {}
+
+    [[nodiscard]] constexpr double value() const { return mv_; }
+    /// Same quantity in volts (1 V == 1000 mV).
+    [[nodiscard]] constexpr double volts() const { return mv_ / 1000.0; }
+
+    constexpr Millivolts operator-() const { return Millivolts{-mv_}; }
+    constexpr Millivolts& operator+=(Millivolts o) { mv_ += o.mv_; return *this; }
+    constexpr Millivolts& operator-=(Millivolts o) { mv_ -= o.mv_; return *this; }
+    friend constexpr Millivolts operator+(Millivolts a, Millivolts b) { return Millivolts{a.mv_ + b.mv_}; }
+    friend constexpr Millivolts operator-(Millivolts a, Millivolts b) { return Millivolts{a.mv_ - b.mv_}; }
+    friend constexpr Millivolts operator*(Millivolts a, double k) { return Millivolts{a.mv_ * k}; }
+    friend constexpr Millivolts operator*(double k, Millivolts a) { return Millivolts{a.mv_ * k}; }
+    friend constexpr double operator/(Millivolts a, Millivolts b) { return a.mv_ / b.mv_; }
+    friend constexpr auto operator<=>(Millivolts, Millivolts) = default;
+
+private:
+    double mv_ = 0.0;
+};
+
+/// Construct a Millivolts from a value in volts.
+[[nodiscard]] constexpr Millivolts from_volts(double v) { return Millivolts{v * 1000.0}; }
+
+/// A frequency expressed in megahertz.  Core frequencies in this model
+/// range from 400 MHz to 4900 MHz.
+class Megahertz {
+public:
+    constexpr Megahertz() = default;
+    constexpr explicit Megahertz(double mhz) : mhz_(mhz) {}
+
+    [[nodiscard]] constexpr double value() const { return mhz_; }
+    [[nodiscard]] constexpr double gigahertz() const { return mhz_ / 1000.0; }
+    /// Clock period of this frequency in picoseconds (1 GHz -> 1000 ps).
+    [[nodiscard]] constexpr double period_ps() const { return 1.0e6 / mhz_; }
+
+    friend constexpr Megahertz operator+(Megahertz a, Megahertz b) { return Megahertz{a.mhz_ + b.mhz_}; }
+    friend constexpr Megahertz operator-(Megahertz a, Megahertz b) { return Megahertz{a.mhz_ - b.mhz_}; }
+    friend constexpr Megahertz operator*(Megahertz a, double k) { return Megahertz{a.mhz_ * k}; }
+    friend constexpr auto operator<=>(Megahertz, Megahertz) = default;
+
+private:
+    double mhz_ = 0.0;
+};
+
+/// Construct a Megahertz from a value in gigahertz.
+[[nodiscard]] constexpr Megahertz from_ghz(double ghz) { return Megahertz{ghz * 1000.0}; }
+
+/// Simulated time, in integer picoseconds.  64 bits of picoseconds cover
+/// ~106 days of simulated time, far beyond any experiment here.
+class Picoseconds {
+public:
+    constexpr Picoseconds() = default;
+    constexpr explicit Picoseconds(std::int64_t ps) : ps_(ps) {}
+
+    [[nodiscard]] constexpr std::int64_t value() const { return ps_; }
+    [[nodiscard]] constexpr double nanoseconds() const { return static_cast<double>(ps_) / 1e3; }
+    [[nodiscard]] constexpr double microseconds() const { return static_cast<double>(ps_) / 1e6; }
+    [[nodiscard]] constexpr double milliseconds() const { return static_cast<double>(ps_) / 1e9; }
+    [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ps_) / 1e12; }
+
+    constexpr Picoseconds& operator+=(Picoseconds o) { ps_ += o.ps_; return *this; }
+    constexpr Picoseconds& operator-=(Picoseconds o) { ps_ -= o.ps_; return *this; }
+    friend constexpr Picoseconds operator+(Picoseconds a, Picoseconds b) { return Picoseconds{a.ps_ + b.ps_}; }
+    friend constexpr Picoseconds operator-(Picoseconds a, Picoseconds b) { return Picoseconds{a.ps_ - b.ps_}; }
+    friend constexpr Picoseconds operator*(Picoseconds a, std::int64_t k) { return Picoseconds{a.ps_ * k}; }
+    friend constexpr auto operator<=>(Picoseconds, Picoseconds) = default;
+
+private:
+    std::int64_t ps_ = 0;
+};
+
+[[nodiscard]] constexpr Picoseconds nanoseconds(double ns) {
+    return Picoseconds{static_cast<std::int64_t>(ns * 1e3)};
+}
+[[nodiscard]] constexpr Picoseconds microseconds(double us) {
+    return Picoseconds{static_cast<std::int64_t>(us * 1e6)};
+}
+[[nodiscard]] constexpr Picoseconds milliseconds(double ms) {
+    return Picoseconds{static_cast<std::int64_t>(ms * 1e9)};
+}
+
+/// A CPU cycle count.  Cycles convert to time only through a frequency.
+class Cycles {
+public:
+    constexpr Cycles() = default;
+    constexpr explicit Cycles(std::uint64_t n) : n_(n) {}
+
+    [[nodiscard]] constexpr std::uint64_t value() const { return n_; }
+
+    /// Wall (simulated) duration of this many cycles at frequency `f`.
+    [[nodiscard]] constexpr Picoseconds at(Megahertz f) const {
+        return Picoseconds{static_cast<std::int64_t>(static_cast<double>(n_) * f.period_ps())};
+    }
+
+    constexpr Cycles& operator+=(Cycles o) { n_ += o.n_; return *this; }
+    friend constexpr Cycles operator+(Cycles a, Cycles b) { return Cycles{a.n_ + b.n_}; }
+    friend constexpr Cycles operator*(Cycles a, std::uint64_t k) { return Cycles{a.n_ * k}; }
+    friend constexpr auto operator<=>(Cycles, Cycles) = default;
+
+private:
+    std::uint64_t n_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Millivolts v);
+std::ostream& operator<<(std::ostream& os, Megahertz f);
+std::ostream& operator<<(std::ostream& os, Picoseconds t);
+std::ostream& operator<<(std::ostream& os, Cycles c);
+
+}  // namespace pv

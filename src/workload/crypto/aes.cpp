@@ -1,0 +1,191 @@
+#include "workload/crypto/aes.hpp"
+
+#include "util/error.hpp"
+
+namespace pv::crypto {
+namespace {
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+    std::uint8_t r = 0;
+    while (b) {
+        if (b & 1) r ^= a;
+        const bool hi = a & 0x80;
+        a = static_cast<std::uint8_t>(a << 1);
+        if (hi) a ^= 0x1B;
+        b >>= 1;
+    }
+    return r;
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+    if (a == 0) return 0;
+    // a^254 in GF(2^8) by square-and-multiply.
+    std::uint8_t result = 1;
+    std::uint8_t base = a;
+    unsigned exp = 254;
+    while (exp) {
+        if (exp & 1) result = gf_mul(result, base);
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    return result;
+}
+
+struct SboxTable {
+    std::array<std::uint8_t, 256> t{};
+    SboxTable() {
+        for (unsigned i = 0; i < 256; ++i) {
+            const std::uint8_t x = gf_inv(static_cast<std::uint8_t>(i));
+            std::uint8_t y = x;
+            y = static_cast<std::uint8_t>(y ^ static_cast<std::uint8_t>((x << 1) | (x >> 7)));
+            y = static_cast<std::uint8_t>(y ^ static_cast<std::uint8_t>((x << 2) | (x >> 6)));
+            y = static_cast<std::uint8_t>(y ^ static_cast<std::uint8_t>((x << 3) | (x >> 5)));
+            y = static_cast<std::uint8_t>(y ^ static_cast<std::uint8_t>((x << 4) | (x >> 4)));
+            t[i] = static_cast<std::uint8_t>(y ^ 0x63);
+        }
+    }
+};
+
+const SboxTable g_sbox;
+
+using RoundKeys = std::array<std::array<std::uint8_t, 16>, 11>;
+
+RoundKeys expand_key(const AesKey& key) {
+    RoundKeys rk{};
+    rk[0] = key;
+    std::uint8_t rcon = 1;
+    for (unsigned round = 1; round <= 10; ++round) {
+        std::array<std::uint8_t, 4> temp{rk[round - 1][12], rk[round - 1][13],
+                                         rk[round - 1][14], rk[round - 1][15]};
+        // RotWord + SubWord + Rcon.
+        const std::uint8_t t0 = temp[0];
+        temp[0] = static_cast<std::uint8_t>(g_sbox.t[temp[1]] ^ rcon);
+        temp[1] = g_sbox.t[temp[2]];
+        temp[2] = g_sbox.t[temp[3]];
+        temp[3] = g_sbox.t[t0];
+        rcon = gf_mul(rcon, 2);
+        for (unsigned i = 0; i < 4; ++i)
+            rk[round][i] = static_cast<std::uint8_t>(rk[round - 1][i] ^ temp[i]);
+        for (unsigned i = 4; i < 16; ++i)
+            rk[round][i] = static_cast<std::uint8_t>(rk[round - 1][i] ^ rk[round][i - 4]);
+    }
+    return rk;
+}
+
+void sub_bytes(AesBlock& s) {
+    for (auto& b : s) b = g_sbox.t[b];
+}
+
+void shift_rows(AesBlock& s) {
+    // Column-major state: byte index = 4*col + row.
+    AesBlock t = s;
+    for (unsigned row = 1; row < 4; ++row)
+        for (unsigned col = 0; col < 4; ++col)
+            s[4 * col + row] = t[4 * ((col + row) % 4) + row];
+}
+
+void mix_columns(AesBlock& s) {
+    for (unsigned col = 0; col < 4; ++col) {
+        std::uint8_t* c = &s[4 * col];
+        const std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+        c[0] = static_cast<std::uint8_t>(gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3);
+        c[1] = static_cast<std::uint8_t>(a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3);
+        c[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3));
+        c[3] = static_cast<std::uint8_t>(gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2));
+    }
+}
+
+void add_round_key(AesBlock& s, const std::array<std::uint8_t, 16>& rk) {
+    for (unsigned i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(s[i] ^ rk[i]);
+}
+
+}  // namespace
+
+std::uint8_t aes_sbox(std::uint8_t x) { return g_sbox.t[x]; }
+
+std::uint8_t aes_gf_mul(std::uint8_t a, std::uint8_t b) { return gf_mul(a, b); }
+
+std::array<std::uint8_t, 16> aes_last_round_key(const AesKey& key) {
+    return expand_key(key)[10];
+}
+
+AesBlock aes128_encrypt_with_fault(const AesKey& key, const AesBlock& plaintext,
+                                   unsigned fault_round, unsigned pos, std::uint8_t diff) {
+    if (fault_round > 10 || pos >= 16) throw ConfigError("fault location out of range");
+    const RoundKeys rk = expand_key(key);
+    AesBlock s = plaintext;
+    add_round_key(s, rk[0]);
+    if (fault_round == 0) s[pos] = static_cast<std::uint8_t>(s[pos] ^ diff);
+    for (unsigned round = 1; round <= 9; ++round) {
+        sub_bytes(s);
+        shift_rows(s);
+        mix_columns(s);
+        add_round_key(s, rk[round]);
+        if (round == fault_round) s[pos] = static_cast<std::uint8_t>(s[pos] ^ diff);
+    }
+    sub_bytes(s);
+    shift_rows(s);
+    add_round_key(s, rk[10]);
+    if (fault_round == 10) s[pos] = static_cast<std::uint8_t>(s[pos] ^ diff);
+    return s;
+}
+
+AesBlock aes128_encrypt(const AesKey& key, const AesBlock& plaintext) {
+    const RoundKeys rk = expand_key(key);
+    AesBlock s = plaintext;
+    add_round_key(s, rk[0]);
+    for (unsigned round = 1; round <= 9; ++round) {
+        sub_bytes(s);
+        shift_rows(s);
+        mix_columns(s);
+        add_round_key(s, rk[round]);
+    }
+    sub_bytes(s);
+    shift_rows(s);
+    add_round_key(s, rk[10]);
+    return s;
+}
+
+FaultableAes::FaultableAes(sim::Machine& machine, unsigned core, AesKey key,
+                           std::uint64_t lane_seed)
+    : machine_(machine), core_(core), key_(key), lane_rng_(lane_seed) {}
+
+FaultableAes::Result FaultableAes::encrypt(const AesBlock& plaintext) {
+    const RoundKeys rk = expand_key(key_);
+    Result result;
+    AesBlock s = plaintext;
+    add_round_key(s, rk[0]);
+    for (unsigned round = 1; round <= 10; ++round) {
+        // One AES round instruction retires per round; its 16 parallel
+        // S-box lanes each see the per-op timing-fault probability.
+        bool faulted = machine_.execute_op(core_, sim::InstrClass::FpMul);
+        if (!faulted) {
+            const double p = machine_.fault_probability(core_, sim::InstrClass::FpMul);
+            if (p > 0.0) faulted = lane_rng_.binomial(15, p) > 0;
+        }
+        if (round <= 9) {
+            sub_bytes(s);
+            shift_rows(s);
+            mix_columns(s);
+            add_round_key(s, rk[round]);
+        } else {
+            sub_bytes(s);
+            shift_rows(s);
+            add_round_key(s, rk[10]);
+        }
+        if (faulted) {
+            // A timing fault in the round datapath: XOR a nonzero
+            // difference into one uniformly-chosen state byte (the
+            // single-byte DFA fault model — any lane can miss timing).
+            const auto pos = static_cast<unsigned>(lane_rng_.uniform_below(16));
+            const auto diff = static_cast<std::uint8_t>(1 + lane_rng_.uniform_below(255));
+            s[pos] = static_cast<std::uint8_t>(s[pos] ^ diff);
+            result.faulted = true;
+            if (result.faulted_round < 0) result.faulted_round = static_cast<int>(round);
+        }
+    }
+    result.ciphertext = s;
+    return result;
+}
+
+}  // namespace pv::crypto

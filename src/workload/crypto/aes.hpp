@@ -1,0 +1,66 @@
+// PlugVolt — AES-128 victim.
+//
+// Plundervolt's second weaponization target: faulting an AES-NI round
+// yields faulty ciphertexts usable for differential fault analysis.  We
+// implement a bit-exact AES-128 (validated against FIPS-197 vectors) and
+// a machine-bound variant whose per-round computation can be faulted,
+// producing corrupted ciphertexts during undervolt excursions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+
+namespace pv::crypto {
+
+using AesBlock = std::array<std::uint8_t, 16>;
+using AesKey = std::array<std::uint8_t, 16>;
+
+/// Reference AES-128 single-block encryption (FIPS-197).
+[[nodiscard]] AesBlock aes128_encrypt(const AesKey& key, const AesBlock& plaintext);
+
+/// The AES S-box value for `x` (computed, not tabulated by hand).
+[[nodiscard]] std::uint8_t aes_sbox(std::uint8_t x);
+
+/// GF(2^8) multiplication with the AES polynomial (x^8+x^4+x^3+x+1).
+[[nodiscard]] std::uint8_t aes_gf_mul(std::uint8_t a, std::uint8_t b);
+
+/// The last (round 10) round key expanded from `key` — what differential
+/// fault analysis recovers first.
+[[nodiscard]] std::array<std::uint8_t, 16> aes_last_round_key(const AesKey& key);
+
+/// Reference encryption with a controlled fault: XOR `diff` into state
+/// byte `pos` after round `fault_round` completes (0 = after the initial
+/// AddRoundKey).  The DFA literature's laboratory fault injector.
+[[nodiscard]] AesBlock aes128_encrypt_with_fault(const AesKey& key, const AesBlock& plaintext,
+                                                 unsigned fault_round, unsigned pos,
+                                                 std::uint8_t diff);
+
+/// Machine-bound encryptor: each round retires one FpMul-class round
+/// instruction (AES-NI shares the FPU/SIMD path) whose 16 parallel
+/// S-box lanes each sample the timing-fault probability; a fault XORs a
+/// random byte-difference into the round state, which is exactly the
+/// single-byte fault shape differential fault analysis expects.
+class FaultableAes {
+public:
+    FaultableAes(sim::Machine& machine, unsigned core, AesKey key,
+                 std::uint64_t lane_seed = 0xAE5);
+
+    struct Result {
+        AesBlock ciphertext{};
+        bool faulted = false;
+        int faulted_round = -1;  ///< first faulted round, -1 if clean
+    };
+
+    [[nodiscard]] Result encrypt(const AesBlock& plaintext);
+
+private:
+    sim::Machine& machine_;
+    unsigned core_;
+    AesKey key_;
+    Rng lane_rng_;
+};
+
+}  // namespace pv::crypto

@@ -1,0 +1,180 @@
+#include "workload/crypto/aes_dfa.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace pv::crypto {
+namespace {
+
+// Inverse S-box, derived from the forward box at first use.
+struct InvSbox {
+    std::array<std::uint8_t, 256> t{};
+    InvSbox() {
+        for (unsigned i = 0; i < 256; ++i) t[aes_sbox(static_cast<std::uint8_t>(i))] =
+            static_cast<std::uint8_t>(i);
+    }
+};
+const InvSbox g_inv_sbox;
+
+// MixColumns row multipliers seen by a single-byte difference entering at
+// row r of a column: column pattern (by output row i) is kMcCol[r][i].
+constexpr std::uint8_t kMcCol[4][4] = {
+    {2, 1, 1, 3},  // fault in row 0
+    {3, 2, 1, 1},  // row 1
+    {1, 3, 2, 1},  // row 2
+    {1, 1, 3, 2},  // row 3
+};
+
+// Ciphertext byte positions touched by a fault whose post-ShiftRows
+// column (in round 9) is c1: row i lands at column (c1 - i) mod 4 after
+// round 10's ShiftRows.  State layout: index = 4*col + row.
+std::array<unsigned, 4> touched_positions(unsigned c1) {
+    std::array<unsigned, 4> q{};
+    for (unsigned i = 0; i < 4; ++i) q[i] = 4 * ((c1 + 4 - i) % 4) + i;
+    return q;
+}
+
+// Round constants of the AES-128 key schedule, rounds 1..10.
+constexpr std::uint8_t kRcon[11] = {0,    0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+
+using KeyTuple = std::uint32_t;  // 4 packed candidate key bytes
+
+KeyTuple pack(const std::array<std::uint8_t, 4>& k) {
+    return static_cast<KeyTuple>(k[0]) | (static_cast<KeyTuple>(k[1]) << 8) |
+           (static_cast<KeyTuple>(k[2]) << 16) | (static_cast<KeyTuple>(k[3]) << 24);
+}
+
+std::array<std::uint8_t, 4> unpack(KeyTuple t) {
+    return {static_cast<std::uint8_t>(t), static_cast<std::uint8_t>(t >> 8),
+            static_cast<std::uint8_t>(t >> 16), static_cast<std::uint8_t>(t >> 24)};
+}
+
+// All round-10 key 4-byte tuples consistent with one faulty pair on one
+// diagonal (the Piret-Quisquater filtering step).
+std::set<KeyTuple> candidate_tuples(const DfaPair& pair, unsigned c1) {
+    const auto q = touched_positions(c1);
+    std::set<KeyTuple> tuples;
+    // The fault's original row r (hence the multiplier pattern) and the
+    // pre-MixColumns difference delta are both unknown: try all.
+    for (unsigned r = 0; r < 4; ++r) {
+        for (unsigned delta = 1; delta < 256; ++delta) {
+            std::array<std::vector<std::uint8_t>, 4> per_byte;
+            bool viable = true;
+            for (unsigned i = 0; i < 4 && viable; ++i) {
+                const std::uint8_t target =
+                    aes_gf_mul(kMcCol[r][i], static_cast<std::uint8_t>(delta));
+                const std::uint8_t c = pair.correct[q[i]];
+                const std::uint8_t f = pair.faulty[q[i]];
+                for (unsigned k = 0; k < 256; ++k) {
+                    const auto kk = static_cast<std::uint8_t>(k);
+                    if ((g_inv_sbox.t[c ^ kk] ^ g_inv_sbox.t[f ^ kk]) == target)
+                        per_byte[i].push_back(kk);
+                }
+                viable = !per_byte[i].empty();
+            }
+            if (!viable) continue;
+            for (const std::uint8_t k0 : per_byte[0])
+                for (const std::uint8_t k1 : per_byte[1])
+                    for (const std::uint8_t k2 : per_byte[2])
+                        for (const std::uint8_t k3 : per_byte[3])
+                            tuples.insert(pack({k0, k1, k2, k3}));
+        }
+    }
+    return tuples;
+}
+
+std::set<KeyTuple> surviving_tuples(const std::vector<DfaPair>& pairs, unsigned c1) {
+    std::set<KeyTuple> survivors;
+    bool first = true;
+    for (const DfaPair& pair : pairs) {
+        const std::set<KeyTuple> cand = candidate_tuples(pair, c1);
+        if (first) {
+            survivors = cand;
+            first = false;
+        } else {
+            std::set<KeyTuple> kept;
+            std::set_intersection(survivors.begin(), survivors.end(), cand.begin(),
+                                  cand.end(), std::inserter(kept, kept.begin()));
+            survivors = std::move(kept);
+        }
+        if (survivors.size() <= 1) break;
+    }
+    return survivors;
+}
+
+}  // namespace
+
+std::uint8_t aes_inv_sbox(std::uint8_t x) { return g_inv_sbox.t[x]; }
+
+AesKey invert_key_schedule(const std::array<std::uint8_t, 16>& round10_key) {
+    std::array<std::uint8_t, 16> rk = round10_key;
+    for (int round = 10; round >= 1; --round) {
+        std::array<std::uint8_t, 16> prev{};
+        for (int i = 15; i >= 4; --i)
+            prev[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(rk[static_cast<std::size_t>(i)] ^
+                                          rk[static_cast<std::size_t>(i - 4)]);
+        // temp = RotWord+SubWord of prev[12..15] plus the round constant.
+        const std::uint8_t t0 = prev[12];
+        std::array<std::uint8_t, 4> temp = {
+            static_cast<std::uint8_t>(aes_sbox(prev[13]) ^
+                                      kRcon[static_cast<std::size_t>(round)]),
+            aes_sbox(prev[14]), aes_sbox(prev[15]), aes_sbox(t0)};
+        for (unsigned i = 0; i < 4; ++i)
+            prev[i] = static_cast<std::uint8_t>(rk[i] ^ temp[i]);
+        rk = prev;
+    }
+    return rk;
+}
+
+std::optional<unsigned> dfa_diagonal(const DfaPair& pair) {
+    std::array<bool, 16> diff{};
+    unsigned count = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        diff[i] = pair.correct[i] != pair.faulty[i];
+        count += diff[i];
+    }
+    if (count != 4) return std::nullopt;
+    for (unsigned c1 = 0; c1 < 4; ++c1) {
+        const auto q = touched_positions(c1);
+        if (std::all_of(q.begin(), q.end(), [&](unsigned p) { return diff[p]; }))
+            return c1;
+    }
+    return std::nullopt;
+}
+
+bool AesDfa::add_pair(const DfaPair& pair) {
+    const auto diag = dfa_diagonal(pair);
+    if (!diag) return false;
+    pairs_[*diag].push_back(pair);
+    return true;
+}
+
+bool AesDfa::ready(std::size_t needed) const {
+    return std::all_of(pairs_.begin(), pairs_.end(),
+                       [&](const auto& v) { return v.size() >= needed; });
+}
+
+std::size_t AesDfa::candidates_for(unsigned diagonal) const {
+    if (diagonal >= 4) throw ConfigError("diagonal out of range");
+    if (pairs_[diagonal].empty()) return SIZE_MAX;
+    return surviving_tuples(pairs_[diagonal], diagonal).size();
+}
+
+std::optional<AesKey> AesDfa::recover_key() const {
+    std::array<std::uint8_t, 16> k10{};
+    for (unsigned c1 = 0; c1 < 4; ++c1) {
+        if (pairs_[c1].empty()) return std::nullopt;
+        const std::set<KeyTuple> survivors = surviving_tuples(pairs_[c1], c1);
+        if (survivors.size() != 1) return std::nullopt;
+        const auto bytes = unpack(*survivors.begin());
+        const auto q = touched_positions(c1);
+        for (unsigned i = 0; i < 4; ++i) k10[q[i]] = bytes[i];
+    }
+    return invert_key_schedule(k10);
+}
+
+}  // namespace pv::crypto

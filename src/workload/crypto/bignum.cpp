@@ -1,0 +1,97 @@
+#include "workload/crypto/bignum.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace pv::crypto {
+
+u64 mulmod(u64 a, u64 b, u64 m) {
+    if (m == 0) throw ConfigError("mulmod by zero modulus");
+    return static_cast<u64>((static_cast<u128>(a) * b) % m);
+}
+
+u64 powmod(u64 base, u64 exp, u64 m) {
+    if (m == 0) throw ConfigError("powmod by zero modulus");
+    u64 result = 1 % m;
+    base %= m;
+    while (exp != 0) {
+        if (exp & 1) result = mulmod(result, base, m);
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    return result;
+}
+
+u64 gcd(u64 a, u64 b) {
+    while (b != 0) {
+        const u64 t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+std::optional<u64> modinv(u64 a, u64 m) {
+    // Extended Euclid over signed 128-bit accumulators.
+    __extension__ typedef __int128 i128;
+    i128 old_r = a % m, r = m;
+    i128 old_s = 1, s = 0;
+    while (r != 0) {
+        const i128 q = old_r / r;
+        const i128 tmp_r = old_r - q * r;
+        old_r = r;
+        r = tmp_r;
+        const i128 tmp_s = old_s - q * s;
+        old_s = s;
+        s = tmp_s;
+    }
+    if (old_r != 1) return std::nullopt;
+    i128 inv = old_s % static_cast<i128>(m);
+    if (inv < 0) inv += m;
+    return static_cast<u64>(inv);
+}
+
+bool is_prime(u64 n) {
+    if (n < 2) return false;
+    for (const u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL,
+                        31ULL, 37ULL}) {
+        if (n % p == 0) return n == p;
+    }
+    u64 d = n - 1;
+    unsigned r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // These witnesses are exact for every n < 2^64 (Sinclair/Jaeschke).
+    for (const u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL,
+                        31ULL, 37ULL}) {
+        u64 x = powmod(a % n, d, n);
+        if (x == 1 || x == n - 1) continue;
+        bool witness = true;
+        for (unsigned i = 1; i < r; ++i) {
+            x = mulmod(x, x, n);
+            if (x == n - 1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness) return false;
+    }
+    return true;
+}
+
+u64 random_prime(Rng& rng, unsigned bits) {
+    if (bits < 8 || bits > 62) throw ConfigError("random_prime bits out of [8,62]");
+    const u64 lo = 1ULL << (bits - 1);
+    const u64 span = 1ULL << (bits - 1);
+    for (int attempt = 0; attempt < 100000; ++attempt) {
+        u64 candidate = lo + rng.uniform_below(span);
+        candidate |= 1;  // odd
+        if (is_prime(candidate)) return candidate;
+    }
+    throw SimError("random_prime failed to find a prime");
+}
+
+}  // namespace pv::crypto

@@ -1,0 +1,37 @@
+// PlugVolt — modular arithmetic for the crypto victims.
+//
+// Plundervolt's flagship exploit faults one half of an RSA-CRT signature
+// and factors the modulus with the Bellcore attack.  These helpers give
+// us a small but real RSA (64-bit modulus from two ~32-bit primes) whose
+// every multiplication can be routed through the simulated multiplier.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/rng.hpp"
+
+namespace pv::crypto {
+
+using u64 = std::uint64_t;
+__extension__ typedef unsigned __int128 u128;  // GCC/Clang builtin, pedantic-safe
+
+/// (a * b) mod m via 128-bit intermediate; m must be nonzero.
+[[nodiscard]] u64 mulmod(u64 a, u64 b, u64 m);
+
+/// (base ^ exp) mod m by square-and-multiply; m must be nonzero.
+[[nodiscard]] u64 powmod(u64 base, u64 exp, u64 m);
+
+/// Greatest common divisor.
+[[nodiscard]] u64 gcd(u64 a, u64 b);
+
+/// Modular inverse of a mod m (extended Euclid); nullopt if not coprime.
+[[nodiscard]] std::optional<u64> modinv(u64 a, u64 m);
+
+/// Deterministic Miller-Rabin, exact for all 64-bit inputs.
+[[nodiscard]] bool is_prime(u64 n);
+
+/// Uniform random prime with exactly `bits` bits (8 <= bits <= 62).
+[[nodiscard]] u64 random_prime(Rng& rng, unsigned bits);
+
+}  // namespace pv::crypto

@@ -1,0 +1,100 @@
+#include "workload/crypto/rsa_crt.hpp"
+
+#include "util/error.hpp"
+
+namespace pv::crypto {
+
+RsaKey rsa_generate(Rng& rng, unsigned prime_bits) {
+    RsaKey key;
+    key.e = 65537;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        key.p = random_prime(rng, prime_bits);
+        do {
+            key.q = random_prime(rng, prime_bits);
+        } while (key.q == key.p);
+        if (key.p < key.q) std::swap(key.p, key.q);  // convention: p > q
+        const u64 phi = (key.p - 1) * (key.q - 1);
+        if (gcd(key.e, phi) != 1) continue;
+        key.n = key.p * key.q;
+        key.d = *modinv(key.e, phi);
+        key.dp = key.d % (key.p - 1);
+        key.dq = key.d % (key.q - 1);
+        key.qinv = *modinv(key.q % key.p, key.p);
+        return key;
+    }
+    throw SimError("rsa_generate failed");
+}
+
+u64 rsa_sign_reference(const RsaKey& key, u64 message) {
+    const u64 m = message % key.n;
+    const u64 sp = powmod(m % key.p, key.dp, key.p);
+    const u64 sq = powmod(m % key.q, key.dq, key.q);
+    // Garner recombination: s = sq + q * (qinv * (sp - sq) mod p).
+    const u64 h = mulmod(key.qinv, (sp + key.p - sq % key.p) % key.p, key.p);
+    return sq + key.q * h;
+}
+
+bool rsa_verify(const RsaKey& key, u64 message, u64 signature) {
+    return powmod(signature % key.n, key.e, key.n) == message % key.n;
+}
+
+FaultableRsaSigner::FaultableRsaSigner(sim::Machine& machine, unsigned core, RsaKey key)
+    : machine_(machine), core_(core), key_(key) {
+    if (key_.n == 0) throw ConfigError("signer needs a generated key");
+}
+
+u64 FaultableRsaSigner::mulmod_hw(u64 a, u64 b, u64 m) {
+    ++muls_;
+    u128 product = static_cast<u128>(a) * b;
+    // One retired imul per wide multiply; a timing fault corrupts the
+    // product (low partial-product columns carry into everything, so
+    // corrupting the low half before reduction is faithful enough).
+    if (machine_.execute_op(core_, sim::InstrClass::Imul)) {
+        const u64 low = static_cast<u64>(product);
+        product = (product >> 64 << 64) | machine_.corrupt_value(low);
+    }
+    return static_cast<u64>(product % m);
+}
+
+u64 FaultableRsaSigner::powmod_hw(u64 base, u64 exp, u64 m) {
+    u64 result = 1 % m;
+    base %= m;
+    while (exp != 0) {
+        if (exp & 1) result = mulmod_hw(result, base, m);
+        base = mulmod_hw(base, base, m);
+        exp >>= 1;
+    }
+    return result;
+}
+
+u64 FaultableRsaSigner::sign(u64 message) {
+    const u64 m = message % key_.n;
+    const u64 sp = powmod_hw(m % key_.p, key_.dp, key_.p);
+    const u64 sq = powmod_hw(m % key_.q, key_.dq, key_.q);
+    const u64 h = mulmod_hw(key_.qinv, (sp + key_.p - sq % key_.p) % key_.p, key_.p);
+    return sq + key_.q * h;
+}
+
+u64 FaultableRsaSigner::sign_verified(u64 message, unsigned max_retries) {
+    for (unsigned attempt = 0; attempt < max_retries; ++attempt) {
+        const u64 s = sign(message);
+        // The verification itself runs on the (possibly still unsafe)
+        // machine too — route it through the hardware multiplier.
+        if (powmod_hw(s % key_.n, key_.e, key_.n) == message % key_.n) return s;
+        ++suppressed_;
+    }
+    throw SimError("sign_verified: persistent faults, refusing to release a signature");
+}
+
+std::optional<u64> bellcore_factor(u64 n, u64 e, u64 message, u64 signature) {
+    if (n == 0) return std::nullopt;
+    const u64 m = message % n;
+    const u64 se = powmod(signature % n, e, n);
+    const u64 diff = (se + n - m) % n;
+    if (diff == 0) return std::nullopt;  // signature was correct
+    const u64 g = gcd(diff, n);
+    if (g > 1 && g < n) return g;
+    return std::nullopt;
+}
+
+}  // namespace pv::crypto

@@ -1,0 +1,72 @@
+// PlugVolt — RSA-CRT victim and the Bellcore fault attack.
+//
+// The canonical weaponization of a DVFS fault (Plundervolt Sec. 5): a
+// single fault in one CRT half of an RSA signature lets the attacker
+// factor the modulus with one gcd.  The FaultableRsaSigner routes every
+// modular multiplication through the simulated multiplier, so signatures
+// computed during an undervolt excursion come out wrong exactly when the
+// physics says they should.
+#pragma once
+
+#include "sim/machine.hpp"
+#include "workload/crypto/bignum.hpp"
+
+namespace pv::crypto {
+
+/// A full RSA key with CRT parameters (toy sizes: ~32-bit primes).
+struct RsaKey {
+    u64 p = 0, q = 0;   ///< primes
+    u64 n = 0;          ///< modulus p*q
+    u64 e = 0;          ///< public exponent
+    u64 d = 0;          ///< private exponent
+    u64 dp = 0, dq = 0; ///< d mod (p-1), d mod (q-1)
+    u64 qinv = 0;       ///< q^{-1} mod p
+};
+
+/// Deterministic key generation from `rng`; `prime_bits` per prime.
+[[nodiscard]] RsaKey rsa_generate(Rng& rng, unsigned prime_bits = 30);
+
+/// Fault-free CRT signature (reference implementation, no machine).
+[[nodiscard]] u64 rsa_sign_reference(const RsaKey& key, u64 message);
+
+/// Verify s^e == m (mod n).
+[[nodiscard]] bool rsa_verify(const RsaKey& key, u64 message, u64 signature);
+
+/// CRT signer whose multiplies run on (and can be faulted by) a Machine.
+class FaultableRsaSigner {
+public:
+    FaultableRsaSigner(sim::Machine& machine, unsigned core, RsaKey key);
+
+    /// Sign `message`; the result is wrong iff a multiplier fault hit.
+    [[nodiscard]] u64 sign(u64 message);
+
+    /// Shamir/Bellcore application-level mitigation: verify the
+    /// signature with the public exponent before releasing it; a faulty
+    /// result is recomputed instead of leaked.  Orthogonal to PlugVolt
+    /// (it protects this one computation, not the platform) and costly
+    /// (one extra public-exponent exponentiation per signature).
+    [[nodiscard]] u64 sign_verified(u64 message, unsigned max_retries = 8);
+
+    /// Faulty signatures suppressed by sign_verified so far.
+    [[nodiscard]] std::uint64_t suppressed_faults() const { return suppressed_; }
+
+    [[nodiscard]] const RsaKey& key() const { return key_; }
+    /// Multiplies executed so far (for attack statistics).
+    [[nodiscard]] std::uint64_t mul_count() const { return muls_; }
+
+private:
+    [[nodiscard]] u64 mulmod_hw(u64 a, u64 b, u64 m);
+    [[nodiscard]] u64 powmod_hw(u64 base, u64 exp, u64 m);
+
+    sim::Machine& machine_;
+    unsigned core_;
+    RsaKey key_;
+    std::uint64_t muls_ = 0;
+    std::uint64_t suppressed_ = 0;
+};
+
+/// Bellcore: given message and a (possibly faulty) signature under the
+/// public key (n, e), return a nontrivial factor of n if one falls out.
+[[nodiscard]] std::optional<u64> bellcore_factor(u64 n, u64 e, u64 message, u64 signature);
+
+}  // namespace pv::crypto

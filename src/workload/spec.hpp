@@ -1,0 +1,49 @@
+// PlugVolt — the SPEC CPU2017 rate stand-in suite.
+//
+// Twenty-three kernels, one per row of the paper's Table 2.  Each is a
+// small but genuine computation in the same algorithmic family as its
+// namesake (stencil for bwaves, N-body for namd, SAD search for x264,
+// bitboards for deepsjeng, ...), with an instruction-mix cost model
+// calibrated to a plausible IPC for that family.  The suite runner
+// (SpecSuite) executes the cost models on the simulated machine; the
+// real kernels back the unit tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace pv::workload {
+
+// --- SPECrate 2017 Floating Point ----------------------------------------
+[[nodiscard]] std::unique_ptr<Workload> make_bwaves(std::uint64_t seed);      // 503
+[[nodiscard]] std::unique_ptr<Workload> make_cactubssn(std::uint64_t seed);   // 507
+[[nodiscard]] std::unique_ptr<Workload> make_namd(std::uint64_t seed);        // 508
+[[nodiscard]] std::unique_ptr<Workload> make_parest(std::uint64_t seed);      // 510
+[[nodiscard]] std::unique_ptr<Workload> make_povray(std::uint64_t seed);      // 511
+[[nodiscard]] std::unique_ptr<Workload> make_lbm(std::uint64_t seed);         // 519
+[[nodiscard]] std::unique_ptr<Workload> make_wrf(std::uint64_t seed);         // 521
+[[nodiscard]] std::unique_ptr<Workload> make_blender(std::uint64_t seed);     // 526
+[[nodiscard]] std::unique_ptr<Workload> make_cam4(std::uint64_t seed);        // 527
+[[nodiscard]] std::unique_ptr<Workload> make_imagick(std::uint64_t seed);     // 538
+[[nodiscard]] std::unique_ptr<Workload> make_nab(std::uint64_t seed);         // 544
+[[nodiscard]] std::unique_ptr<Workload> make_fotonik3d(std::uint64_t seed);   // 549
+[[nodiscard]] std::unique_ptr<Workload> make_roms(std::uint64_t seed);        // 554
+
+// --- SPECrate 2017 Integer ------------------------------------------------
+[[nodiscard]] std::unique_ptr<Workload> make_perlbench(std::uint64_t seed);   // 500
+[[nodiscard]] std::unique_ptr<Workload> make_gcc(std::uint64_t seed);         // 502
+[[nodiscard]] std::unique_ptr<Workload> make_mcf(std::uint64_t seed);         // 505
+[[nodiscard]] std::unique_ptr<Workload> make_omnetpp(std::uint64_t seed);     // 520
+[[nodiscard]] std::unique_ptr<Workload> make_xalancbmk(std::uint64_t seed);   // 523
+[[nodiscard]] std::unique_ptr<Workload> make_x264(std::uint64_t seed);        // 525
+[[nodiscard]] std::unique_ptr<Workload> make_deepsjeng(std::uint64_t seed);   // 531
+[[nodiscard]] std::unique_ptr<Workload> make_leela(std::uint64_t seed);       // 541
+[[nodiscard]] std::unique_ptr<Workload> make_exchange2(std::uint64_t seed);   // 548
+[[nodiscard]] std::unique_ptr<Workload> make_xz(std::uint64_t seed);          // 557
+
+/// The full 23-kernel suite in Table 2 order (FP block then INT block).
+[[nodiscard]] std::vector<std::unique_ptr<Workload>> spec2017_rate_suite(std::uint64_t seed);
+
+}  // namespace pv::workload

@@ -1,0 +1,561 @@
+// SPECrate 2017 FP stand-ins: one genuine kernel per benchmark family.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "workload/spec.hpp"
+
+namespace pv::workload {
+namespace {
+
+std::uint64_t fold(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    return bits;
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+/// 503.bwaves_r: blast-wave solver — 3D 7-point Laplacian sweeps.
+class Bwaves final : public SpecKernelBase {
+public:
+    explicit Bwaves(std::uint64_t seed)
+        : SpecKernelBase("503.bwaves_r", {1'400'000, 2.1}, seed), grid_(kN * kN * kN) {
+        for (auto& v : grid_) v = rng_.uniform(-1.0, 1.0);
+        next_ = grid_;
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            for (int z = 1; z < kN - 1; ++z)
+                for (int y = 1; y < kN - 1; ++y)
+                    for (int x = 1; x < kN - 1; ++x) {
+                        const double c = at(x, y, z);
+                        next_[idx(x, y, z)] =
+                            c + 0.1 * (at(x - 1, y, z) + at(x + 1, y, z) + at(x, y - 1, z) +
+                                       at(x, y + 1, z) + at(x, y, z - 1) + at(x, y, z + 1) -
+                                       6.0 * c);
+                    }
+            grid_.swap(next_);
+            h = mix(h, fold(at(kN / 2, kN / 2, kN / 2)));
+        }
+        return h;
+    }
+
+private:
+    static constexpr int kN = 20;
+    static std::size_t idx(int x, int y, int z) {
+        return static_cast<std::size_t>((z * kN + y) * kN + x);
+    }
+    double at(int x, int y, int z) const { return grid_[idx(x, y, z)]; }
+    std::vector<double> grid_, next_;
+};
+
+/// 507.cactuBSSN_r: numerical relativity — wave equation with a
+/// second-order leapfrog update.
+class CactuBssn final : public SpecKernelBase {
+public:
+    explicit CactuBssn(std::uint64_t seed)
+        : SpecKernelBase("507.cactuBSSN_r", {1'600'000, 1.9}, seed),
+          cur_(kN * kN), prev_(kN * kN), next_(kN * kN) {
+        for (auto& v : cur_) v = rng_.uniform(-0.5, 0.5);
+        prev_ = cur_;
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        constexpr double c2 = 0.24;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            for (int y = 1; y < kN - 1; ++y)
+                for (int x = 1; x < kN - 1; ++x) {
+                    const auto i = static_cast<std::size_t>(y * kN + x);
+                    constexpr auto kStride = static_cast<std::size_t>(kN);
+                    const double lap = cur_[i - 1] + cur_[i + 1] + cur_[i - kStride] +
+                                       cur_[i + kStride] - 4.0 * cur_[i];
+                    next_[i] = 2.0 * cur_[i] - prev_[i] + c2 * lap;
+                }
+            prev_.swap(cur_);
+            cur_.swap(next_);
+            h = mix(h, fold(cur_[kN * kN / 2]));
+        }
+        return h;
+    }
+
+private:
+    static constexpr int kN = 56;
+    std::vector<double> cur_, prev_, next_;
+};
+
+/// 508.namd_r: molecular dynamics — Lennard-Jones pairwise forces.
+class Namd final : public SpecKernelBase {
+public:
+    explicit Namd(std::uint64_t seed)
+        : SpecKernelBase("508.namd_r", {1'900'000, 2.3}, seed), pos_(3 * kAtoms),
+          force_(3 * kAtoms) {
+        for (auto& p : pos_) p = rng_.uniform(0.0, 8.0);
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            std::fill(force_.begin(), force_.end(), 0.0);
+            for (std::size_t i = 0; i < kAtoms; ++i)
+                for (std::size_t j = i + 1; j < kAtoms; ++j) {
+                    const double dx = pos_[3 * i] - pos_[3 * j];
+                    const double dy = pos_[3 * i + 1] - pos_[3 * j + 1];
+                    const double dz = pos_[3 * i + 2] - pos_[3 * j + 2];
+                    const double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+                    const double inv6 = 1.0 / (r2 * r2 * r2);
+                    const double f = (24.0 * inv6 - 48.0 * inv6 * inv6) / r2;
+                    force_[3 * i] += f * dx;
+                    force_[3 * j] -= f * dx;
+                    force_[3 * i + 1] += f * dy;
+                    force_[3 * j + 1] -= f * dy;
+                    force_[3 * i + 2] += f * dz;
+                    force_[3 * j + 2] -= f * dz;
+                }
+            for (std::size_t i = 0; i < 3 * kAtoms; ++i) pos_[i] += 1e-5 * force_[i];
+            h = mix(h, fold(force_[1]));
+        }
+        return h;
+    }
+
+private:
+    static constexpr std::size_t kAtoms = 96;
+    std::vector<double> pos_, force_;
+};
+
+/// 510.parest_r: finite elements — CSR sparse matrix-vector + Jacobi.
+class Parest final : public SpecKernelBase {
+public:
+    explicit Parest(std::uint64_t seed)
+        : SpecKernelBase("510.parest_r", {1'200'000, 1.5}, seed) {
+        // Random sparse SPD-ish matrix: diagonal dominance.
+        for (std::size_t r = 0; r < kRows; ++r) {
+            row_ptr_.push_back(static_cast<int>(cols_.size()));
+            double off_sum = 0.0;
+            for (int k = 0; k < 6; ++k) {
+                const int c = static_cast<int>(rng_.uniform_below(kRows));
+                const double v = rng_.uniform(-0.4, 0.4);
+                cols_.push_back(c);
+                vals_.push_back(v);
+                off_sum += std::abs(v);
+            }
+            diag_.push_back(off_sum + 1.0);
+        }
+        row_ptr_.push_back(static_cast<int>(cols_.size()));
+        x_.assign(kRows, 0.0);
+        b_.resize(kRows);
+        for (auto& v : b_) v = rng_.uniform(-1.0, 1.0);
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        std::vector<double> xn(kRows);
+        for (std::uint64_t u = 0; u < units; ++u) {
+            for (int it = 0; it < 4; ++it) {
+                for (std::size_t r = 0; r < kRows; ++r) {
+                    double acc = b_[r];
+                    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+                        acc -= vals_[static_cast<std::size_t>(k)] *
+                               x_[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])];
+                    xn[r] = acc / diag_[r];
+                }
+                x_.swap(xn);
+            }
+            h = mix(h, fold(x_[kRows / 3]));
+        }
+        return h;
+    }
+
+private:
+    static constexpr std::size_t kRows = 1500;
+    std::vector<int> row_ptr_, cols_;
+    std::vector<double> vals_, diag_, x_, b_;
+};
+
+/// 511.povray_r: ray tracing — ray/sphere intersection batches.
+class Povray final : public SpecKernelBase {
+public:
+    explicit Povray(std::uint64_t seed)
+        : SpecKernelBase("511.povray_r", {1'500'000, 2.0}, seed) {
+        for (auto& s : spheres_)
+            s = {rng_.uniform(-4, 4), rng_.uniform(-4, 4), rng_.uniform(2, 10),
+                 rng_.uniform(0.3, 1.2)};
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            double acc = 0.0;
+            for (int py = 0; py < kRes; ++py)
+                for (int px = 0; px < kRes; ++px) {
+                    const double dx = (px - kRes / 2) / static_cast<double>(kRes);
+                    const double dy = (py - kRes / 2) / static_cast<double>(kRes);
+                    const double norm = 1.0 / std::sqrt(dx * dx + dy * dy + 1.0);
+                    double nearest = 1e30;
+                    for (const auto& s : spheres_) {
+                        // |o + t*d - c|^2 = r^2 with o = origin.
+                        const double ocx = -s[0], ocy = -s[1], ocz = -s[2];
+                        const double b = 2.0 * norm * (ocx * dx + ocy * dy + ocz);
+                        const double c =
+                            ocx * ocx + ocy * ocy + ocz * ocz - s[3] * s[3];
+                        const double disc = b * b - 4.0 * c;
+                        if (disc > 0.0) {
+                            const double t = (-b - std::sqrt(disc)) * 0.5;
+                            if (t > 0.0 && t < nearest) nearest = t;
+                        }
+                    }
+                    if (nearest < 1e29) acc += 1.0 / nearest;
+                }
+            h = mix(h, fold(acc));
+        }
+        return h;
+    }
+
+private:
+    static constexpr int kRes = 48;
+    std::array<std::array<double, 4>, 12> spheres_{};
+};
+
+/// 519.lbm_r: lattice Boltzmann D2Q9 stream + BGK collide.
+class Lbm final : public SpecKernelBase {
+public:
+    explicit Lbm(std::uint64_t seed)
+        : SpecKernelBase("519.lbm_r", {1'700'000, 1.4}, seed), f_(9u * kN * kN, 1.0 / 9.0),
+          tmp_(f_) {
+        for (auto& v : f_) v += rng_.uniform(-0.01, 0.01);
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        static constexpr int ex[9] = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+        static constexpr int ey[9] = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+        static constexpr double w[9] = {4.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9,
+                                        1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36};
+        constexpr double omega = 1.2;
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            // Streaming with periodic wrap.
+            for (unsigned q = 0; q < 9; ++q)
+                for (unsigned y = 0; y < kN; ++y)
+                    for (unsigned x = 0; x < kN; ++x) {
+                        const int n = static_cast<int>(kN);
+                        const auto sx = static_cast<unsigned>(
+                            (static_cast<int>(x) - ex[q] + n) % n);
+                        const auto sy = static_cast<unsigned>(
+                            (static_cast<int>(y) - ey[q] + n) % n);
+                        tmp_[(q * kN + y) * kN + x] = f_[(q * kN + sy) * kN + sx];
+                    }
+            // Collision.
+            for (unsigned cell = 0; cell < kN * kN; ++cell) {
+                double rho = 0.0, ux = 0.0, uy = 0.0;
+                for (unsigned q = 0; q < 9; ++q) {
+                    const double fq = tmp_[q * kN * kN + cell];
+                    rho += fq;
+                    ux += fq * ex[q];
+                    uy += fq * ey[q];
+                }
+                ux /= rho;
+                uy /= rho;
+                const double uu = ux * ux + uy * uy;
+                for (unsigned q = 0; q < 9; ++q) {
+                    const double eu = ex[q] * ux + ey[q] * uy;
+                    const double feq =
+                        w[q] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * uu);
+                    f_[q * kN * kN + cell] =
+                        tmp_[q * kN * kN + cell] * (1.0 - omega) + omega * feq;
+                }
+            }
+            h = mix(h, fold(f_[kN * kN / 2]));
+        }
+        return h;
+    }
+
+private:
+    static constexpr unsigned kN = 24;
+    std::vector<double> f_, tmp_;
+};
+
+/// 521.wrf_r: weather — 2D upwind advection of a scalar field.
+class Wrf final : public SpecKernelBase {
+public:
+    explicit Wrf(std::uint64_t seed)
+        : SpecKernelBase("521.wrf_r", {1'300'000, 1.8}, seed), q_(kN * kN), qn_(kN * kN) {
+        for (auto& v : q_) v = rng_.uniform(0.0, 1.0);
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        constexpr double u_wind = 0.35, v_wind = -0.2;
+        std::uint64_t h = 0;
+        for (std::uint64_t it = 0; it < units; ++it) {
+            for (int y = 0; y < kN; ++y)
+                for (int x = 0; x < kN; ++x) {
+                    const int xm = (x - 1 + kN) % kN, ym = (y - 1 + kN) % kN;
+                    const int xp = (x + 1) % kN, yp = (y + 1) % kN;
+                    const double dqx = u_wind > 0 ? q_[at(x, y)] - q_[at(xm, y)]
+                                                  : q_[at(xp, y)] - q_[at(x, y)];
+                    const double dqy = v_wind > 0 ? q_[at(x, y)] - q_[at(x, ym)]
+                                                  : q_[at(x, yp)] - q_[at(x, y)];
+                    qn_[at(x, y)] = q_[at(x, y)] - u_wind * dqx - v_wind * dqy;
+                }
+            q_.swap(qn_);
+            h = mix(h, fold(q_[at(kN / 2, kN / 3)]));
+        }
+        return h;
+    }
+
+private:
+    static constexpr int kN = 52;
+    static std::size_t at(int x, int y) { return static_cast<std::size_t>(y * kN + x); }
+    std::vector<double> q_, qn_;
+};
+
+/// 526.blender_r: rendering — mat4 vertex transform + viewport clip.
+class Blender final : public SpecKernelBase {
+public:
+    explicit Blender(std::uint64_t seed)
+        : SpecKernelBase("526.blender_r", {1'450'000, 2.2}, seed), verts_(4u * kVerts) {
+        for (auto& v : verts_) v = rng_.uniform(-2.0, 2.0);
+        for (unsigned i = 0; i < kVerts; ++i) verts_[4 * i + 3] = 1.0;
+        double angle = 0.3;
+        mat_ = {std::cos(angle), -std::sin(angle), 0, 0.1,
+                std::sin(angle), std::cos(angle),  0, 0.2,
+                0,               0,                1, 3.0,
+                0,               0,                0, 1.0};
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            double clipped = 0.0;
+            for (unsigned rep = 0; rep < 12; ++rep)
+                for (unsigned i = 0; i < kVerts; ++i) {
+                    double out[4];
+                    for (unsigned r = 0; r < 4; ++r) {
+                        out[r] = 0.0;
+                        for (unsigned c = 0; c < 4; ++c)
+                            out[r] += mat_[4 * r + c] * verts_[4 * i + c];
+                    }
+                    const double inv_w = 1.0 / (out[3] + 4.0);
+                    const double sx = out[0] * inv_w, sy = out[1] * inv_w;
+                    if (sx > -1.0 && sx < 1.0 && sy > -1.0 && sy < 1.0) clipped += sx * sy;
+                }
+            h = mix(h, fold(clipped));
+        }
+        return h;
+    }
+
+private:
+    static constexpr unsigned kVerts = 700;
+    std::vector<double> verts_;
+    std::array<double, 16> mat_{};
+};
+
+/// 527.cam4_r: climate — column physics with transcendental loads.
+class Cam4 final : public SpecKernelBase {
+public:
+    explicit Cam4(std::uint64_t seed)
+        : SpecKernelBase("527.cam4_r", {1'350'000, 1.6}, seed), temp_(kCols * kLevels) {
+        for (auto& t : temp_) t = rng_.uniform(210.0, 300.0);
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            double flux = 0.0;
+            for (unsigned c = 0; c < kCols; ++c) {
+                double optical_depth = 0.0;
+                for (unsigned l = 0; l < kLevels; ++l) {
+                    double& t = temp_[c * kLevels + l];
+                    // Saturation vapour pressure (Clausius-Clapeyron) and
+                    // grey-body emission per level.
+                    const double es = 610.8 * std::exp(17.27 * (t - 273.15) / (t - 35.85));
+                    optical_depth += 1e-5 * es;
+                    const double emission = 5.67e-8 * t * t * t * t *
+                                            std::exp(-optical_depth);
+                    flux += emission;
+                    t += 1e-7 * (emission - 230.0);
+                }
+            }
+            h = mix(h, fold(flux));
+        }
+        return h;
+    }
+
+private:
+    static constexpr unsigned kCols = 40, kLevels = 26;
+    std::vector<double> temp_;
+};
+
+/// 538.imagick_r: image processing — separable 5x5 Gaussian blur.
+class Imagick final : public SpecKernelBase {
+public:
+    explicit Imagick(std::uint64_t seed)
+        : SpecKernelBase("538.imagick_r", {1'250'000, 2.0}, seed), img_(kN * kN),
+          tmp_(kN * kN) {
+        for (auto& p : img_) p = rng_.uniform(0.0, 255.0);
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        static constexpr double k[5] = {0.0625, 0.25, 0.375, 0.25, 0.0625};
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            for (int y = 0; y < kN; ++y)
+                for (int x = 0; x < kN; ++x) {
+                    double acc = 0.0;
+                    for (int d = -2; d <= 2; ++d)
+                        acc += k[d + 2] * img_[at((x + d + kN) % kN, y)];
+                    tmp_[at(x, y)] = acc;
+                }
+            for (int y = 0; y < kN; ++y)
+                for (int x = 0; x < kN; ++x) {
+                    double acc = 0.0;
+                    for (int d = -2; d <= 2; ++d)
+                        acc += k[d + 2] * tmp_[at(x, (y + d + kN) % kN)];
+                    img_[at(x, y)] = acc;
+                }
+            h = mix(h, fold(img_[at(kN / 4, kN / 4)]));
+        }
+        return h;
+    }
+
+private:
+    static constexpr int kN = 56;
+    static std::size_t at(int x, int y) { return static_cast<std::size_t>(y * kN + x); }
+    std::vector<double> img_, tmp_;
+};
+
+/// 544.nab_r: molecular modeling — distance matrix + Born radii pass.
+class Nab final : public SpecKernelBase {
+public:
+    explicit Nab(std::uint64_t seed)
+        : SpecKernelBase("544.nab_r", {1'550'000, 1.9}, seed), pos_(3 * kAtoms),
+          radii_(kAtoms) {
+        for (auto& p : pos_) p = rng_.uniform(0.0, 12.0);
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            double energy = 0.0;
+            for (std::size_t i = 0; i < kAtoms; ++i) {
+                double born = 0.0;
+                for (std::size_t j = 0; j < kAtoms; ++j) {
+                    if (i == j) continue;
+                    const double dx = pos_[3 * i] - pos_[3 * j];
+                    const double dy = pos_[3 * i + 1] - pos_[3 * j + 1];
+                    const double dz = pos_[3 * i + 2] - pos_[3 * j + 2];
+                    const double r = std::sqrt(dx * dx + dy * dy + dz * dz + 1e-3);
+                    born += std::exp(-r * 0.4) / r;
+                }
+                radii_[i] = 1.0 / (0.1 + born);
+                energy += radii_[i];
+            }
+            pos_[0] += 1e-6 * energy;
+            h = mix(h, fold(energy));
+        }
+        return h;
+    }
+
+private:
+    static constexpr std::size_t kAtoms = 110;
+    std::vector<double> pos_, radii_;
+};
+
+/// 549.fotonik3d_r: photonics — 2D FDTD (Yee) TE update.
+class Fotonik3d final : public SpecKernelBase {
+public:
+    explicit Fotonik3d(std::uint64_t seed)
+        : SpecKernelBase("549.fotonik3d_r", {1'500'000, 1.7}, seed), ez_(kN * kN),
+          hx_(kN * kN), hy_(kN * kN) {
+        // A dipole excitation in the middle, random permittivity texture.
+        eps_inv_.resize(kN * kN);
+        for (auto& e : eps_inv_) e = 1.0 / rng_.uniform(1.0, 4.0);
+        ez_[at(kN / 2, kN / 2)] = 1.0;
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        constexpr double dt = 0.45;
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            for (int y = 0; y < kN - 1; ++y)
+                for (int x = 0; x < kN - 1; ++x) {
+                    hx_[at(x, y)] -= dt * (ez_[at(x, y + 1)] - ez_[at(x, y)]);
+                    hy_[at(x, y)] += dt * (ez_[at(x + 1, y)] - ez_[at(x, y)]);
+                }
+            for (int y = 1; y < kN - 1; ++y)
+                for (int x = 1; x < kN - 1; ++x)
+                    ez_[at(x, y)] += dt * eps_inv_[at(x, y)] *
+                                     ((hy_[at(x, y)] - hy_[at(x - 1, y)]) -
+                                      (hx_[at(x, y)] - hx_[at(x, y - 1)]));
+            h = mix(h, fold(ez_[at(kN / 2 + 3, kN / 2)]));
+        }
+        return h;
+    }
+
+private:
+    static constexpr int kN = 54;
+    static std::size_t at(int x, int y) { return static_cast<std::size_t>(y * kN + x); }
+    std::vector<double> ez_, hx_, hy_, eps_inv_;
+};
+
+/// 554.roms_r: ocean modeling — shallow-water equations step.
+class Roms final : public SpecKernelBase {
+public:
+    explicit Roms(std::uint64_t seed)
+        : SpecKernelBase("554.roms_r", {1'400'000, 1.7}, seed), eta_(kN * kN), u_(kN * kN),
+          v_(kN * kN) {
+        for (auto& e : eta_) e = rng_.uniform(-0.1, 0.1);
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        constexpr double g = 9.81, dt = 0.01, depth = 10.0;
+        std::uint64_t h = 0;
+        for (std::uint64_t it = 0; it < units; ++it) {
+            for (int y = 0; y < kN; ++y)
+                for (int x = 0; x < kN; ++x) {
+                    const int xp = (x + 1) % kN, yp = (y + 1) % kN;
+                    u_[at(x, y)] -= dt * g * (eta_[at(xp, y)] - eta_[at(x, y)]);
+                    v_[at(x, y)] -= dt * g * (eta_[at(x, yp)] - eta_[at(x, y)]);
+                }
+            for (int y = 0; y < kN; ++y)
+                for (int x = 0; x < kN; ++x) {
+                    const int xm = (x - 1 + kN) % kN, ym = (y - 1 + kN) % kN;
+                    eta_[at(x, y)] -= dt * depth *
+                                      ((u_[at(x, y)] - u_[at(xm, y)]) +
+                                       (v_[at(x, y)] - v_[at(x, ym)]));
+                }
+            h = mix(h, fold(eta_[at(kN / 3, kN / 5)]));
+        }
+        return h;
+    }
+
+private:
+    static constexpr int kN = 50;
+    static std::size_t at(int x, int y) { return static_cast<std::size_t>(y * kN + x); }
+    std::vector<double> eta_, u_, v_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_bwaves(std::uint64_t seed) { return std::make_unique<Bwaves>(seed); }
+std::unique_ptr<Workload> make_cactubssn(std::uint64_t seed) { return std::make_unique<CactuBssn>(seed); }
+std::unique_ptr<Workload> make_namd(std::uint64_t seed) { return std::make_unique<Namd>(seed); }
+std::unique_ptr<Workload> make_parest(std::uint64_t seed) { return std::make_unique<Parest>(seed); }
+std::unique_ptr<Workload> make_povray(std::uint64_t seed) { return std::make_unique<Povray>(seed); }
+std::unique_ptr<Workload> make_lbm(std::uint64_t seed) { return std::make_unique<Lbm>(seed); }
+std::unique_ptr<Workload> make_wrf(std::uint64_t seed) { return std::make_unique<Wrf>(seed); }
+std::unique_ptr<Workload> make_blender(std::uint64_t seed) { return std::make_unique<Blender>(seed); }
+std::unique_ptr<Workload> make_cam4(std::uint64_t seed) { return std::make_unique<Cam4>(seed); }
+std::unique_ptr<Workload> make_imagick(std::uint64_t seed) { return std::make_unique<Imagick>(seed); }
+std::unique_ptr<Workload> make_nab(std::uint64_t seed) { return std::make_unique<Nab>(seed); }
+std::unique_ptr<Workload> make_fotonik3d(std::uint64_t seed) { return std::make_unique<Fotonik3d>(seed); }
+std::unique_ptr<Workload> make_roms(std::uint64_t seed) { return std::make_unique<Roms>(seed); }
+
+}  // namespace pv::workload

@@ -1,0 +1,526 @@
+// SPECrate 2017 INT stand-ins: one genuine kernel per benchmark family.
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "workload/spec.hpp"
+
+namespace pv::workload {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+/// 500.perlbench_r: interpreter — string hashing and pattern scanning.
+class Perlbench final : public SpecKernelBase {
+public:
+    explicit Perlbench(std::uint64_t seed)
+        : SpecKernelBase("500.perlbench_r", {1'100'000, 1.6}, seed) {
+        static constexpr char alphabet[] = "abcdefghijklmnopqrstuvwxyz ._-";
+        text_.reserve(kTextLen);
+        for (unsigned i = 0; i < kTextLen; ++i)
+            text_.push_back(alphabet[rng_.uniform_below(sizeof alphabet - 1)]);
+        patterns_ = {"perl", "hash", "regex", "bless", "local", "eval"};
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            // djb2 over sliding windows + naive multi-pattern scan.
+            std::uint64_t acc = 5381;
+            for (const char c : text_) acc = acc * 33 + static_cast<unsigned char>(c);
+            std::uint64_t found = 0;
+            for (const auto& p : patterns_) {
+                for (std::size_t pos = 0; (pos = text_.find(p, pos)) != std::string::npos;
+                     ++pos)
+                    ++found;
+            }
+            // Mutate the text so iterations differ.
+            text_[acc % text_.size()] = static_cast<char>('a' + (acc >> 8) % 26);
+            h = mix(h, acc + found);
+        }
+        return h;
+    }
+
+private:
+    static constexpr unsigned kTextLen = 8000;
+    std::string text_;
+    std::vector<std::string> patterns_;
+};
+
+/// 502.gcc_r: compiler — expression-tree constant folding.
+class Gcc final : public SpecKernelBase {
+public:
+    explicit Gcc(std::uint64_t seed) : SpecKernelBase("502.gcc_r", {1'050'000, 1.3}, seed) {
+        nodes_.resize(kNodes);
+        for (unsigned i = 0; i < kNodes; ++i) {
+            Node& n = nodes_[i];
+            if (i < kNodes / 2) {
+                n.op = Op::Const;
+                n.value = static_cast<std::int64_t>(rng_.uniform_below(1000)) - 500;
+            } else {
+                n.op = static_cast<Op>(1 + rng_.uniform_below(4));
+                n.lhs = static_cast<unsigned>(rng_.uniform_below(i));
+                n.rhs = static_cast<unsigned>(rng_.uniform_below(i));
+            }
+        }
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            // Fold bottom-up (nodes reference lower indices only).
+            std::vector<std::int64_t> folded(kNodes);
+            for (unsigned i = 0; i < kNodes; ++i) {
+                const Node& n = nodes_[i];
+                switch (n.op) {
+                    case Op::Const: folded[i] = n.value; break;
+                    case Op::Add: folded[i] = folded[n.lhs] + folded[n.rhs]; break;
+                    case Op::Sub: folded[i] = folded[n.lhs] - folded[n.rhs]; break;
+                    case Op::Mul: folded[i] = folded[n.lhs] * (folded[n.rhs] & 0xFF); break;
+                    case Op::Xor: folded[i] = folded[n.lhs] ^ folded[n.rhs]; break;
+                }
+            }
+            const auto root = static_cast<std::uint64_t>(folded[kNodes - 1]);
+            // Rewrite one subtree so the next unit folds different code.
+            nodes_[kNodes / 2 + root % (kNodes / 2)].lhs =
+                static_cast<unsigned>(root % (kNodes / 2));
+            h = mix(h, root);
+        }
+        return h;
+    }
+
+private:
+    enum class Op : std::uint8_t { Const, Add, Sub, Mul, Xor };
+    struct Node {
+        Op op = Op::Const;
+        std::int64_t value = 0;
+        unsigned lhs = 0, rhs = 0;
+    };
+    static constexpr unsigned kNodes = 4000;
+    std::vector<Node> nodes_;
+};
+
+/// 505.mcf_r: network simplex family — Bellman-Ford relaxations.
+class Mcf final : public SpecKernelBase {
+public:
+    explicit Mcf(std::uint64_t seed) : SpecKernelBase("505.mcf_r", {1'000'000, 0.8}, seed) {
+        edges_.reserve(kEdges);
+        for (unsigned i = 0; i < kEdges; ++i)
+            edges_.push_back({static_cast<unsigned>(rng_.uniform_below(kNodes)),
+                              static_cast<unsigned>(rng_.uniform_below(kNodes)),
+                              static_cast<int>(rng_.uniform_below(100)) + 1});
+        dist_.assign(kNodes, 1 << 28);
+        dist_[0] = 0;
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            std::uint64_t relaxed = 0;
+            for (int round = 0; round < 6; ++round)
+                for (const auto& e : edges_) {
+                    const int cand = dist_[e.from] + e.cost;
+                    if (cand < dist_[e.to]) {
+                        dist_[e.to] = cand;
+                        ++relaxed;
+                    }
+                }
+            // Perturb one source so relaxation keeps happening.
+            dist_[relaxed % kNodes] = static_cast<int>(relaxed % 64);
+            h = mix(h, relaxed + static_cast<std::uint64_t>(dist_[kNodes / 2]));
+        }
+        return h;
+    }
+
+private:
+    struct Edge {
+        unsigned from, to;
+        int cost;
+    };
+    static constexpr unsigned kNodes = 1200, kEdges = 5000;
+    std::vector<Edge> edges_;
+    std::vector<int> dist_;
+};
+
+/// 520.omnetpp_r: discrete-event simulation — event-queue churn.
+class Omnetpp final : public SpecKernelBase {
+public:
+    explicit Omnetpp(std::uint64_t seed)
+        : SpecKernelBase("520.omnetpp_r", {1'150'000, 1.0}, seed) {}
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            std::priority_queue<std::pair<std::uint64_t, std::uint64_t>,
+                                std::vector<std::pair<std::uint64_t, std::uint64_t>>,
+                                std::greater<>>
+                queue;
+            for (unsigned i = 0; i < 64; ++i) queue.push({rng_.uniform_below(1000), i});
+            std::uint64_t clock = 0, handled = 0;
+            while (!queue.empty() && handled < kEventsPerUnit) {
+                const auto [t, id] = queue.top();
+                queue.pop();
+                clock = t;
+                ++handled;
+                // Each event schedules 0-2 successors (bounded queue).
+                const std::uint64_t kind = (t ^ id) % 3;
+                for (std::uint64_t k = 0; k < kind; ++k)
+                    if (queue.size() < 512)
+                        queue.push({clock + 1 + ((id + k) * 2654435761u) % 97, id ^ k});
+            }
+            h = mix(h, clock + handled);
+        }
+        return h;
+    }
+
+private:
+    static constexpr std::uint64_t kEventsPerUnit = 3000;
+};
+
+/// 523.xalancbmk_r: XML transformation — tokenize + tree rewrite.
+class Xalancbmk final : public SpecKernelBase {
+public:
+    explicit Xalancbmk(std::uint64_t seed)
+        : SpecKernelBase("523.xalancbmk_r", {1'100'000, 1.1}, seed) {
+        static constexpr const char* tags[] = {"a", "li", "td", "row", "div", "p"};
+        doc_.reserve(kDocLen);
+        Rng local = rng_.fork();
+        while (doc_.size() < kDocLen) {
+            const char* tag = tags[local.uniform_below(6)];
+            doc_ += "<";
+            doc_ += tag;
+            doc_ += ">x";
+            doc_ += std::to_string(local.uniform_below(100));
+            doc_ += "</";
+            doc_ += tag;
+            doc_ += ">";
+        }
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            std::uint64_t depth = 0, max_depth = 0, text_sum = 0, tokens = 0;
+            for (std::size_t i = 0; i < doc_.size(); ++i) {
+                if (doc_[i] == '<') {
+                    ++tokens;
+                    if (i + 1 < doc_.size() && doc_[i + 1] == '/')
+                        --depth;
+                    else
+                        max_depth = std::max(max_depth, ++depth);
+                } else if (doc_[i] >= '0' && doc_[i] <= '9') {
+                    text_sum += static_cast<std::uint64_t>(doc_[i] - '0');
+                }
+            }
+            // "Transform": rotate a slice of the document.
+            const std::size_t pivot = (text_sum + u) % (doc_.size() - 64);
+            std::rotate(doc_.begin() + static_cast<std::ptrdiff_t>(pivot),
+                        doc_.begin() + static_cast<std::ptrdiff_t>(pivot + 16),
+                        doc_.begin() + static_cast<std::ptrdiff_t>(pivot + 64));
+            h = mix(h, tokens + max_depth * 131 + text_sum);
+        }
+        return h;
+    }
+
+private:
+    static constexpr std::size_t kDocLen = 12000;
+    std::string doc_;
+};
+
+/// 525.x264_r: video encoding — SAD block motion search.
+class X264 final : public SpecKernelBase {
+public:
+    explicit X264(std::uint64_t seed)
+        : SpecKernelBase("525.x264_r", {1'600'000, 2.6}, seed), ref_(kW * kH), cur_(kW * kH) {
+        for (auto& p : ref_) p = static_cast<std::uint8_t>(rng_.uniform_below(256));
+        // Current frame = shifted reference + noise (so search finds real motion).
+        for (unsigned y = 0; y < kH; ++y)
+            for (unsigned x = 0; x < kW; ++x) {
+                const unsigned sx = (x + 3) % kW, sy = (y + 1) % kH;
+                cur_[y * kW + x] = static_cast<std::uint8_t>(
+                    ref_[sy * kW + sx] + (rng_.uniform_below(8) == 0 ? 3 : 0));
+            }
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            std::uint64_t total_sad = 0, best_vectors = 0;
+            for (unsigned by = 0; by + 8 <= kH; by += 8)
+                for (unsigned bx = 0; bx + 8 <= kW; bx += 8) {
+                    unsigned best = ~0u, best_mv = 0;
+                    for (int dy = -2; dy <= 2; ++dy)
+                        for (int dx = -4; dx <= 4; ++dx) {
+                            unsigned sad = 0;
+                            for (unsigned y = 0; y < 8; ++y)
+                                for (unsigned x = 0; x < 8; ++x) {
+                                    const unsigned cy = by + y, cx = bx + x;
+                                    const unsigned ry =
+                                        (cy + static_cast<unsigned>(dy + static_cast<int>(kH))) % kH;
+                                    const unsigned rx =
+                                        (cx + static_cast<unsigned>(dx + static_cast<int>(kW))) % kW;
+                                    const int d = static_cast<int>(cur_[cy * kW + cx]) -
+                                                  static_cast<int>(ref_[ry * kW + rx]);
+                                    sad += static_cast<unsigned>(d < 0 ? -d : d);
+                                }
+                            if (sad < best) {
+                                best = sad;
+                                best_mv = static_cast<unsigned>((dy + 2) * 9 + (dx + 4));
+                            }
+                        }
+                    total_sad += best;
+                    best_vectors += best_mv;
+                }
+            h = mix(h, total_sad * 31 + best_vectors);
+        }
+        return h;
+    }
+
+private:
+    static constexpr unsigned kW = 64, kH = 32;
+    std::vector<std::uint8_t> ref_, cur_;
+};
+
+/// 531.deepsjeng_r: chess — bitboard mobility + quiescence-lite search.
+class Deepsjeng final : public SpecKernelBase {
+public:
+    explicit Deepsjeng(std::uint64_t seed)
+        : SpecKernelBase("531.deepsjeng_r", {1'200'000, 1.7}, seed) {
+        own_ = rng_.next_u64() & 0x00FF00FF00FF00FFULL;
+        theirs_ = rng_.next_u64() & ~own_;
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            std::int64_t best = -(1 << 30);
+            for (unsigned ply = 0; ply < kPlies; ++ply) {
+                // Knight-move style attack spread of every own piece.
+                std::uint64_t attacks = 0;
+                std::uint64_t pieces = own_;
+                while (pieces) {
+                    const std::uint64_t sq = pieces & (~pieces + 1);
+                    attacks |= (sq << 17) | (sq >> 17) | (sq << 15) | (sq >> 15) |
+                               (sq << 10) | (sq >> 10) | (sq << 6) | (sq >> 6);
+                    pieces &= pieces - 1;
+                }
+                const int mobility = __builtin_popcountll(attacks & ~own_);
+                const int captures = __builtin_popcountll(attacks & theirs_);
+                const std::int64_t score = mobility + 8 * captures;
+                best = std::max(best, score);
+                // Make the highest-value capture (greedy playout).
+                const std::uint64_t taken = attacks & theirs_;
+                if (taken) {
+                    const std::uint64_t sq = taken & (~taken + 1);
+                    theirs_ &= ~sq;
+                    own_ = (own_ ^ (own_ & (~own_ + 1))) | sq;
+                } else {
+                    own_ = (own_ << 1) | (own_ >> 63);
+                }
+            }
+            if (theirs_ == 0) theirs_ = rng_.next_u64() & ~own_;
+            h = mix(h, static_cast<std::uint64_t>(best) ^ own_);
+        }
+        return h;
+    }
+
+private:
+    static constexpr unsigned kPlies = 260;
+    std::uint64_t own_ = 0, theirs_ = 0;
+};
+
+/// 541.leela_r: Go — random playouts with liberty counting.
+class Leela final : public SpecKernelBase {
+public:
+    explicit Leela(std::uint64_t seed)
+        : SpecKernelBase("541.leela_r", {1'250'000, 1.4}, seed), board_(kN * kN, 0) {}
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            std::fill(board_.begin(), board_.end(), 0);
+            std::int8_t player = 1;
+            std::uint64_t score = 0;
+            for (unsigned move = 0; move < kMoves; ++move) {
+                const unsigned pos = static_cast<unsigned>(rng_.uniform_below(kN * kN));
+                if (board_[pos] != 0) continue;
+                board_[pos] = player;
+                // Liberties of the new stone's 4-neighbourhood.
+                unsigned libs = 0;
+                const unsigned x = pos % kN, y = pos / kN;
+                if (x > 0 && board_[pos - 1] == 0) ++libs;
+                if (x + 1 < kN && board_[pos + 1] == 0) ++libs;
+                if (y > 0 && board_[pos - kN] == 0) ++libs;
+                if (y + 1 < kN && board_[pos + kN] == 0) ++libs;
+                if (libs == 0) board_[pos] = 0;  // suicide: undo
+                else score += libs * static_cast<unsigned>(player == 1 ? 1 : 2);
+                player = static_cast<std::int8_t>(-player);
+            }
+            h = mix(h, score);
+        }
+        return h;
+    }
+
+private:
+    static constexpr unsigned kN = 13, kMoves = 600;
+    std::vector<std::int8_t> board_;
+};
+
+/// 548.exchange2_r: recursive puzzle solving — Sudoku-style backtracking
+/// on a 6x6 Latin square.
+class Exchange2 final : public SpecKernelBase {
+public:
+    explicit Exchange2(std::uint64_t seed)
+        : SpecKernelBase("548.exchange2_r", {1'300'000, 2.0}, seed) {}
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            grid_.fill(0);
+            // Pre-place a few random clues (may force backtracking).
+            for (int clue = 0; clue < 5; ++clue) {
+                const auto pos = static_cast<unsigned>(rng_.uniform_below(kN * kN));
+                const auto val = static_cast<std::uint8_t>(1 + rng_.uniform_below(kN));
+                if (fits(pos, val)) grid_[pos] = val;
+            }
+            nodes_ = 0;
+            const bool solved = solve(0);
+            h = mix(h, nodes_ * 2 + (solved ? 1 : 0));
+        }
+        return h;
+    }
+
+private:
+    static constexpr unsigned kN = 6;
+
+    [[nodiscard]] bool fits(unsigned pos, std::uint8_t v) const {
+        const unsigned r = pos / kN, c = pos % kN;
+        for (unsigned i = 0; i < kN; ++i) {
+            if (grid_[r * kN + i] == v || grid_[i * kN + c] == v) return false;
+        }
+        return true;
+    }
+
+    bool solve(unsigned pos) {
+        ++nodes_;
+        if (nodes_ > 200'000) return false;  // bound a pathological clue set
+        while (pos < kN * kN && grid_[pos] != 0) ++pos;
+        if (pos == kN * kN) return true;
+        for (std::uint8_t v = 1; v <= kN; ++v) {
+            if (!fits(pos, v)) continue;
+            grid_[pos] = v;
+            if (solve(pos + 1)) {
+                grid_[pos] = 0;
+                return true;
+            }
+            grid_[pos] = 0;
+        }
+        return false;
+    }
+
+    std::array<std::uint8_t, kN * kN> grid_{};
+    std::uint64_t nodes_ = 0;
+};
+
+/// 557.xz_r: compression — greedy LZ77 match finding + byte histogram.
+class Xz final : public SpecKernelBase {
+public:
+    explicit Xz(std::uint64_t seed) : SpecKernelBase("557.xz_r", {1'150'000, 1.2}, seed) {
+        data_.resize(kLen);
+        // Compressible data: repeated motifs with noise.
+        for (std::size_t i = 0; i < kLen; ++i)
+            data_[i] = static_cast<std::uint8_t>((i % 97) ^ (rng_.uniform_below(16) == 0
+                                                                 ? rng_.next_u64() & 0xFF
+                                                                 : 0));
+    }
+
+    std::uint64_t run_units(std::uint64_t units) override {
+        std::uint64_t h = 0;
+        for (std::uint64_t u = 0; u < units; ++u) {
+            std::uint64_t matched = 0, literals = 0;
+            std::array<std::uint32_t, 256> histogram{};
+            std::size_t pos = 0;
+            while (pos + 4 < data_.size()) {
+                // Search a bounded window for the longest match.
+                std::size_t best_len = 0;
+                const std::size_t window =
+                    pos > kWindow ? pos - kWindow : 0;
+                for (std::size_t cand = window; cand < pos; ++cand) {
+                    std::size_t len = 0;
+                    while (len < 32 && pos + len < data_.size() &&
+                           data_[cand + len] == data_[pos + len])
+                        ++len;
+                    best_len = std::max(best_len, len);
+                }
+                if (best_len >= 4) {
+                    matched += best_len;
+                    pos += best_len;
+                } else {
+                    ++histogram[data_[pos]];
+                    ++literals;
+                    ++pos;
+                }
+            }
+            std::uint64_t entropy_proxy = 0;
+            for (const auto count : histogram) entropy_proxy += count * count;
+            // Mutate data so iterations differ.
+            data_[(matched + literals) % data_.size()] ^= 0x55;
+            h = mix(h, matched * 3 + literals + entropy_proxy);
+        }
+        return h;
+    }
+
+private:
+    static constexpr std::size_t kLen = 3000, kWindow = 120;
+    std::vector<std::uint8_t> data_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_perlbench(std::uint64_t seed) { return std::make_unique<Perlbench>(seed); }
+std::unique_ptr<Workload> make_gcc(std::uint64_t seed) { return std::make_unique<Gcc>(seed); }
+std::unique_ptr<Workload> make_mcf(std::uint64_t seed) { return std::make_unique<Mcf>(seed); }
+std::unique_ptr<Workload> make_omnetpp(std::uint64_t seed) { return std::make_unique<Omnetpp>(seed); }
+std::unique_ptr<Workload> make_xalancbmk(std::uint64_t seed) { return std::make_unique<Xalancbmk>(seed); }
+std::unique_ptr<Workload> make_x264(std::uint64_t seed) { return std::make_unique<X264>(seed); }
+std::unique_ptr<Workload> make_deepsjeng(std::uint64_t seed) { return std::make_unique<Deepsjeng>(seed); }
+std::unique_ptr<Workload> make_leela(std::uint64_t seed) { return std::make_unique<Leela>(seed); }
+std::unique_ptr<Workload> make_exchange2(std::uint64_t seed) { return std::make_unique<Exchange2>(seed); }
+std::unique_ptr<Workload> make_xz(std::uint64_t seed) { return std::make_unique<Xz>(seed); }
+
+std::vector<std::unique_ptr<Workload>> spec2017_rate_suite(std::uint64_t seed) {
+    std::vector<std::unique_ptr<Workload>> suite;
+    // Table 2 order: the FP block first, then the INT block.
+    suite.push_back(make_bwaves(seed + 1));
+    suite.push_back(make_cactubssn(seed + 2));
+    suite.push_back(make_namd(seed + 3));
+    suite.push_back(make_parest(seed + 4));
+    suite.push_back(make_povray(seed + 5));
+    suite.push_back(make_lbm(seed + 6));
+    suite.push_back(make_wrf(seed + 7));
+    suite.push_back(make_blender(seed + 8));
+    suite.push_back(make_cam4(seed + 9));
+    suite.push_back(make_imagick(seed + 10));
+    suite.push_back(make_nab(seed + 11));
+    suite.push_back(make_fotonik3d(seed + 12));
+    suite.push_back(make_roms(seed + 13));
+    suite.push_back(make_perlbench(seed + 14));
+    suite.push_back(make_gcc(seed + 15));
+    suite.push_back(make_mcf(seed + 16));
+    suite.push_back(make_omnetpp(seed + 17));
+    suite.push_back(make_xalancbmk(seed + 18));
+    suite.push_back(make_x264(seed + 19));
+    suite.push_back(make_deepsjeng(seed + 20));
+    suite.push_back(make_leela(seed + 21));
+    suite.push_back(make_exchange2(seed + 22));
+    suite.push_back(make_xz(seed + 23));
+    return suite;
+}
+
+}  // namespace pv::workload

@@ -1,0 +1,58 @@
+// PlugVolt — workload abstraction.
+//
+// Table 2 measures throughput interference between the polling module
+// and SPEC CPU2017 rate.  Each workload here carries two faces:
+//  - real computation (`run_units`) with a checksum, so tests can pin
+//    down determinism and the kernels are not stubs;
+//  - a calibrated cost model (dynamic instructions per unit and
+//    sustained IPC) that the suite runner executes on the simulated
+//    machine, where kernel threads steal real (simulated) cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace pv::workload {
+
+/// Instruction-level cost of one work unit on the simulated core.
+struct CostModel {
+    std::uint64_t instructions_per_unit = 0;
+    double ipc = 1.0;  ///< sustained instructions per cycle
+};
+
+/// A runnable benchmark kernel.
+class Workload {
+public:
+    virtual ~Workload() = default;
+
+    /// SPEC-style identifier, e.g. "503.bwaves_r".
+    [[nodiscard]] virtual std::string_view name() const = 0;
+
+    [[nodiscard]] virtual CostModel cost_model() const = 0;
+
+    /// Execute `units` units of the real computation; returns a checksum
+    /// over the results (deterministic for a given construction seed).
+    [[nodiscard]] virtual std::uint64_t run_units(std::uint64_t units) = 0;
+};
+
+/// Shared base handling name/cost plumbing.
+class SpecKernelBase : public Workload {
+public:
+    SpecKernelBase(std::string name, CostModel cost, std::uint64_t seed)
+        : name_(std::move(name)), cost_(cost), rng_(seed) {}
+
+    [[nodiscard]] std::string_view name() const final { return name_; }
+    [[nodiscard]] CostModel cost_model() const final { return cost_; }
+
+private:
+    std::string name_;
+    CostModel cost_;
+
+protected:
+    Rng rng_;  // NOLINT: after name_/cost_ to match the ctor init order
+};
+
+}  // namespace pv::workload

@@ -1,0 +1,311 @@
+// Attack-vs-defense matrix tests: the paper's efficacy claims.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attacks/plundervolt.hpp"
+#include "attacks/v0ltpwn.hpp"
+#include "attacks/voltjockey.hpp"
+#include "defenses/access_control.hpp"
+#include "defenses/minefield.hpp"
+#include "plugvolt/plugvolt.hpp"
+#include "sgx/runtime.hpp"
+#include "test_helpers.hpp"
+
+namespace pv::attack {
+namespace {
+
+struct Bench {
+    explicit Bench(std::uint64_t seed = 71)
+        : machine(sim::cometlake_i7_10510u(), seed), kernel(machine), runtime(kernel) {}
+    sim::Machine machine;
+    os::Kernel kernel;
+    sgx::SgxRuntime runtime;
+};
+
+V0ltpwnConfig v0ltpwn_config(const sgx::Program& program) {
+    V0ltpwnConfig config;
+    config.victim_program = program;
+    config.suppress_after_index = sgx::last_mul_index(program);
+    return config;
+}
+
+TEST(Plundervolt, WeaponizesOnUnprotectedMachine) {
+    Bench b;
+    Plundervolt atk;
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_GT(r.faults_observed, 0u);
+    EXPECT_TRUE(r.weaponized);
+    EXPECT_NE(r.weaponization.find("Bellcore factored"), std::string::npos);
+    EXPECT_LT(atk.found_offset(), Millivolts{0.0});
+    EXPECT_EQ(r.writes_attempted, r.writes_effective) << "no defense blocks writes";
+}
+
+TEST(Plundervolt, WorksOnAllThreeGenerations) {
+    for (const auto& profile : sim::paper_profiles()) {
+        sim::Machine machine(profile, 73);
+        os::Kernel kernel(machine);
+        Plundervolt atk;
+        const AttackResult r = atk.run(kernel);
+        EXPECT_TRUE(r.weaponized) << profile.codename;
+    }
+}
+
+TEST(Plundervolt, BlockedByPollingModule) {
+    Bench b;
+    plugvolt::Protector protector(b.kernel, test::comet_map());
+    protector.deploy(plugvolt::DeploymentLevel::KernelModule);
+    Plundervolt atk;
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_EQ(r.faults_observed, 0u) << "complete prevention (paper Sec. 4.3)";
+    EXPECT_FALSE(r.weaponized);
+    EXPECT_EQ(r.crashes, 0u);
+    EXPECT_GE(protector.polling_module()->metrics().detections, 1u);
+}
+
+TEST(Plundervolt, BlockedByMicrocodeGuard) {
+    Bench b;
+    plugvolt::Protector protector(b.kernel, test::comet_map());
+    protector.deploy(plugvolt::DeploymentLevel::Microcode);
+    Plundervolt atk;
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_EQ(r.faults_observed, 0u);
+    EXPECT_FALSE(r.weaponized);
+    EXPECT_LT(r.writes_effective, r.writes_attempted) << "unsafe writes were ignored";
+}
+
+TEST(Plundervolt, BlockedByHardwareClamp) {
+    Bench b;
+    plugvolt::Protector protector(b.kernel, test::comet_map());
+    protector.deploy(plugvolt::DeploymentLevel::HardwareMsr);
+    Plundervolt atk;
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_EQ(r.faults_observed, 0u);
+    EXPECT_FALSE(r.weaponized);
+    // Clamped writes still "succeed" architecturally.
+    EXPECT_EQ(r.writes_attempted, r.writes_effective);
+}
+
+TEST(Plundervolt, BlockedByAccessControlWhenEnclavePresent) {
+    Bench b;
+    defense::AccessControl patch(b.machine, b.runtime);
+    patch.install();
+    auto enclave = b.runtime.create_enclave("tenant", 2);
+    Plundervolt atk;
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_FALSE(r.weaponized);
+    EXPECT_EQ(r.writes_effective, 0u) << "SA-00289 blocks every OCM write";
+    EXPECT_GT(patch.blocked_writes(), 0u);
+}
+
+TEST(VoltJockey, WeaponizesOnUnprotectedMachine) {
+    Bench b;
+    VoltJockey atk;
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_TRUE(r.weaponized);
+    EXPECT_GT(r.faults_observed, 0u);
+}
+
+TEST(VoltJockey, BlockedByPollingModule) {
+    Bench b;
+    plugvolt::Protector protector(b.kernel, test::comet_map());
+    protector.deploy(plugvolt::DeploymentLevel::KernelModule);
+    VoltJockey atk;
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_EQ(r.faults_observed, 0u);
+    EXPECT_FALSE(r.weaponized);
+    EXPECT_GE(protector.polling_module()->metrics().freq_drops, 1u)
+        << "the raise-cancellation lever fired";
+}
+
+TEST(VoltJockey, BlockedByMaximalSafeDeployments) {
+    for (const auto level :
+         {plugvolt::DeploymentLevel::Microcode, plugvolt::DeploymentLevel::HardwareMsr}) {
+        Bench b;
+        plugvolt::Protector protector(b.kernel, test::comet_map());
+        protector.deploy(level);
+        VoltJockey atk;
+        const AttackResult r = atk.run(b.kernel);
+        EXPECT_FALSE(r.weaponized) << plugvolt::to_string(level);
+        EXPECT_EQ(r.faults_observed, 0u) << plugvolt::to_string(level);
+    }
+}
+
+TEST(VoltJockeyPrecise, NeedsAttackerMap) {
+    Bench b;
+    VoltJockeyConfig config;
+    config.precise_step = true;
+    VoltJockey atk(config, std::nullopt);
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_FALSE(r.weaponized);
+    EXPECT_NE(r.notes.find("characterization map"), std::string::npos);
+}
+
+TEST(VoltJockeyDescendingRail, BeatsUnprotectedMachine) {
+    Bench b;
+    VoltJockeyConfig config;
+    config.descending_rail = true;
+    VoltJockey atk(config, test::comet_map());
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_TRUE(r.weaponized);
+    EXPECT_GT(r.faults_observed, 0u);
+}
+
+TEST(VoltJockeyDescendingRail, BeatsPerFrequencyPollingPolicy) {
+    // The irreducible transition race (DESIGN.md finding #5): the PCU
+    // switches instantly when the rail is already above the commanded
+    // target, so no finite poll interval can intervene.
+    Bench b;
+    plugvolt::Protector protector(b.kernel, test::comet_map());
+    protector.deploy(plugvolt::DeploymentLevel::KernelModule);
+    VoltJockeyConfig config;
+    config.descending_rail = true;
+    VoltJockey atk(config, test::comet_map());
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_TRUE(r.weaponized) << "this race is exactly why Sec. 5 exists";
+}
+
+TEST(VoltJockeyDescendingRail, ClosedByWriteTimeEnforcement) {
+    // Maximal-safe polling restores the deep command before its 150 us
+    // regulator latency elapses; the vendor deployments never accept it.
+    struct Config {
+        plugvolt::DeploymentLevel level;
+        plugvolt::RestorePolicy restore;
+    };
+    for (const Config cfg : {Config{plugvolt::DeploymentLevel::KernelModule,
+                                    plugvolt::RestorePolicy::ClampToMaximalSafe},
+                             Config{plugvolt::DeploymentLevel::Microcode, {}},
+                             Config{plugvolt::DeploymentLevel::HardwareMsr, {}}}) {
+        Bench b;
+        plugvolt::Protector protector(b.kernel, test::comet_map());
+        plugvolt::PollingConfig polling;
+        polling.restore = cfg.restore;
+        protector.deploy(cfg.level, polling);
+        VoltJockeyConfig config;
+        config.descending_rail = true;
+        VoltJockey atk(config, test::comet_map());
+        const AttackResult r = atk.run(b.kernel);
+        EXPECT_FALSE(r.weaponized) << plugvolt::to_string(cfg.level);
+        EXPECT_EQ(r.faults_observed, 0u) << plugvolt::to_string(cfg.level);
+    }
+}
+
+TEST(VoltJockeyPrecise, ClosedByMaximalSafePolicy) {
+    // The adjacent-bin race (see DESIGN.md) is eliminated when the
+    // polling module enforces the maximal safe state on the command.
+    Bench b;
+    plugvolt::PollingConfig polling;
+    polling.restore = plugvolt::RestorePolicy::ClampToMaximalSafe;
+    plugvolt::Protector protector(b.kernel, test::comet_map());
+    protector.deploy(plugvolt::DeploymentLevel::KernelModule, polling);
+
+    VoltJockeyConfig config;
+    config.precise_step = true;
+    VoltJockey atk(config, test::comet_map());
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_EQ(r.faults_observed, 0u);
+    EXPECT_FALSE(r.weaponized);
+}
+
+TEST(V0ltpwn, WeaponizesAgainstBareEnclave) {
+    Bench b;
+    const sgx::Program program = sgx::make_mul_chain(0xAAAA, 0x5555, 32);
+    V0ltpwn atk(b.runtime, v0ltpwn_config(program));
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_TRUE(r.weaponized);
+    EXPECT_NE(r.weaponization.find("zero-step"), std::string::npos);
+}
+
+TEST(V0ltpwn, MinefieldDeflectsWithoutStepping) {
+    Bench b;
+    defense::Minefield pass;
+    const sgx::Program program = pass.instrument(sgx::make_mul_chain(0xAAAA, 0x5555, 32));
+    V0ltpwnConfig config = v0ltpwn_config(program);
+    config.use_sgx_step = false;  // the threat model Minefield assumes
+    V0ltpwn atk(b.runtime, config);
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_FALSE(r.weaponized);
+    EXPECT_GT(atk.trap_detections(), 0u) << "faults happened but were deflected";
+}
+
+TEST(V0ltpwn, SteppingBypassesMinefield) {
+    // The paper's Sec. 4.1 argument: zero-stepping suppresses the trap
+    // behind the faulted multiply, so deflection never runs.
+    Bench b;
+    defense::Minefield pass;
+    const sgx::Program program = pass.instrument(sgx::make_mul_chain(0xAAAA, 0x5555, 32));
+    V0ltpwnConfig config = v0ltpwn_config(program);
+    config.use_sgx_step = true;
+    V0ltpwn atk(b.runtime, config);
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_TRUE(r.weaponized);
+}
+
+TEST(V0ltpwn, PollingModuleStopsSteppingAdversaryToo) {
+    // PlugVolt does not care about stepping: the fault never happens.
+    Bench b;
+    plugvolt::Protector protector(b.kernel, test::comet_map());
+    protector.deploy(plugvolt::DeploymentLevel::KernelModule);
+    const sgx::Program program = sgx::make_mul_chain(0xAAAA, 0x5555, 32);
+    V0ltpwn atk(b.runtime, v0ltpwn_config(program));
+    const AttackResult r = atk.run(b.kernel);
+    EXPECT_FALSE(r.weaponized);
+    EXPECT_EQ(r.faults_observed, 0u);
+}
+
+class CrossGeneration : public ::testing::TestWithParam<int> {
+protected:
+    [[nodiscard]] sim::CpuProfile profile() const {
+        return sim::paper_profiles()[static_cast<std::size_t>(GetParam())];
+    }
+};
+
+TEST_P(CrossGeneration, PollingBlocksPlundervoltOnEveryPaperCpu) {
+    // The paper's claim covers all three generations; so does ours.
+    sim::Machine machine(profile(), 75);
+    os::Kernel kernel(machine);
+    plugvolt::Protector protector(kernel, test::cached_map(profile()));
+    protector.deploy(plugvolt::DeploymentLevel::KernelModule);
+    Plundervolt atk;
+    const AttackResult r = atk.run(kernel);
+    EXPECT_EQ(r.faults_observed, 0u) << profile().codename;
+    EXPECT_FALSE(r.weaponized) << profile().codename;
+    EXPECT_FALSE(machine.crashed()) << profile().codename;
+}
+
+TEST_P(CrossGeneration, VendorDeploymentsBlockPlundervoltOnEveryPaperCpu) {
+    for (const auto level :
+         {plugvolt::DeploymentLevel::Microcode, plugvolt::DeploymentLevel::HardwareMsr}) {
+        sim::Machine machine(profile(), 76);
+        os::Kernel kernel(machine);
+        plugvolt::Protector protector(kernel, test::cached_map(profile()));
+        protector.deploy(level);
+        Plundervolt atk;
+        const AttackResult r = atk.run(kernel);
+        EXPECT_FALSE(r.weaponized)
+            << profile().codename << " / " << plugvolt::to_string(level);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCpus, CrossGeneration, ::testing::Values(0, 1, 2));
+
+TEST(Attacks, ModuleUnloadingIsVisibleToAttestation) {
+    // Threat model note (Sec. 4.1): the adversary may unload the module,
+    // but the quote then reports it and the client refuses.
+    Bench b;
+    b.runtime.set_attested_module(std::string(plugvolt::PollingModule::kModuleName));
+    plugvolt::Protector protector(b.kernel, test::comet_map());
+    protector.deploy(plugvolt::DeploymentLevel::KernelModule);
+
+    auto enclave = b.runtime.create_enclave("signer", 1);
+    const sgx::AttestationPolicy policy{.require_plugvolt_module = true};
+    EXPECT_TRUE(sgx::verify(b.runtime.quote(*enclave), policy).accepted);
+
+    // Adversary unloads the countermeasure (allowed by the threat model).
+    EXPECT_TRUE(b.kernel.unload_module(plugvolt::PollingModule::kModuleName));
+    EXPECT_FALSE(sgx::verify(b.runtime.quote(*enclave), policy).accepted)
+        << "the client sees the unload and aborts";
+}
+
+}  // namespace
+}  // namespace pv::attack

@@ -1,0 +1,145 @@
+// Idle-state (C-state) behaviour and its security interplay.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "os/cpupower.hpp"
+#include "plugvolt/plugvolt.hpp"
+#include "sim/cpu_profile.hpp"
+#include "sim/machine.hpp"
+#include "sim/ocm.hpp"
+#include "test_helpers.hpp"
+
+namespace pv::sim {
+namespace {
+
+TEST(VfCurveInverse, MaxSupportedInvertsNominal) {
+    const VfCurve curve = cometlake_i7_10510u().vf_curve();
+    for (double ghz = 0.4; ghz <= 4.9 + 1e-9; ghz += 0.3) {
+        const Megahertz f = from_ghz(ghz);
+        EXPECT_NEAR(curve.max_supported(curve.nominal(f)).value(), f.value(), 1.0);
+    }
+    EXPECT_DOUBLE_EQ(curve.max_supported(Millivolts{2000.0}).value(),
+                     curve.max_freq().value());
+    EXPECT_DOUBLE_EQ(curve.max_supported(Millivolts{100.0}).value(),
+                     curve.min_freq().value());
+}
+
+TEST(CStates, C6DropsRailConstraint) {
+    Machine m(cometlake_i7_10510u(), 91);
+    m.set_all_frequencies(m.profile().freq_max);
+    m.advance_to(m.rail_settle_time());
+    const double busy_rail = m.package_voltage().value();
+
+    // Idle every core but 0, and drop core 0's request to minimum.
+    for (unsigned c = 1; c < m.core_count(); ++c) m.enter_cstate(c, CState::C6);
+    m.set_core_frequency(0, m.profile().freq_min);
+    m.advance(milliseconds(1.0));
+    EXPECT_LT(m.package_voltage().value(), busy_rail - 200.0)
+        << "the rail sags to the lone active core's P-state";
+}
+
+TEST(CStates, C1StillConstrainsRail) {
+    Machine m(cometlake_i7_10510u(), 92);
+    m.set_all_frequencies(m.profile().freq_max);
+    m.advance_to(m.rail_settle_time());
+    for (unsigned c = 1; c < m.core_count(); ++c) m.enter_cstate(c, CState::C1);
+    m.set_core_frequency(0, m.profile().freq_min);
+    m.advance(milliseconds(1.0));
+    // C1 cores are only clock-gated: their (max) requests keep the rail up.
+    EXPECT_NEAR(m.package_voltage().value(),
+                m.profile().vf_curve().nominal(m.profile().freq_max).value(), 2.0);
+}
+
+TEST(CStates, C6SavesLeakageEnergy) {
+    auto idle_energy = [](bool gate) {
+        Machine m(cometlake_i7_10510u(), 93);
+        if (gate)
+            for (unsigned c = 0; c < m.core_count(); ++c) m.enter_cstate(c, CState::C6);
+        const double before = m.power().total_joules();
+        m.advance(milliseconds(50.0));
+        return m.power().total_joules() - before;
+    };
+    const double gated = idle_energy(true);
+    const double ungated = idle_energy(false);
+    EXPECT_LT(gated, ungated * 0.8) << "power-gating must save real leakage";
+}
+
+TEST(CStates, WakeChargesExitLatency) {
+    Machine m(cometlake_i7_10510u(), 94);
+    m.enter_cstate(2, CState::C6);
+    m.advance(milliseconds(1.0));
+    const Picoseconds steal_before = m.core(2).total_steal();
+    m.wake_core(2);
+    EXPECT_EQ(m.core(2).cstate(), CState::C0);
+    EXPECT_EQ((m.core(2).total_steal() - steal_before).value(),
+              m.profile().cstates.c6_exit_latency.value());
+    // Waking an awake core is free and idempotent.
+    m.wake_core(2);
+    EXPECT_EQ((m.core(2).total_steal() - steal_before).value(),
+              m.profile().cstates.c6_exit_latency.value());
+}
+
+TEST(CStates, RunBatchWakesTheCore) {
+    Machine m(cometlake_i7_10510u(), 95);
+    m.enter_cstate(1, CState::C6);
+    m.advance(milliseconds(1.0));
+    const BatchResult r = m.run_batch(1, InstrClass::Alu, 100'000);
+    EXPECT_EQ(r.ops_done, 100'000u);
+    EXPECT_EQ(m.core(1).cstate(), CState::C0);
+    // The batch paid the exit latency.
+    EXPECT_GE((r.finished - r.started).value(),
+              m.profile().cstates.c6_exit_latency.value());
+}
+
+TEST(CStates, WakeOntoSaggedRailComesUpAtSupportedPState) {
+    Machine m(cometlake_i7_10510u(), 96);
+    m.set_all_frequencies(m.profile().freq_max);
+    m.advance_to(m.rail_settle_time());
+    m.enter_cstate(3, CState::C6);
+    // Remaining cores drop to minimum; the rail sags.
+    for (unsigned c = 0; c < 3; ++c) m.set_core_frequency(c, m.profile().freq_min);
+    m.advance(milliseconds(1.0));
+
+    m.wake_core(3);
+    // It cannot run at its old 4.9 GHz on a 0.4 GHz rail.
+    EXPECT_LT(m.core(3).frequency().value(), 1000.0);
+    EXPECT_FALSE(m.crashed());
+    // The request is still pending: the PCU raises the rail and the core
+    // reaches its requested P-state shortly after.
+    m.advance_to(m.rail_settle_time());
+    EXPECT_DOUBLE_EQ(m.core(3).frequency().value(), m.profile().freq_max.value());
+}
+
+TEST(CStates, PollingKthreadWakesIdleCoreAndKeepsProtecting) {
+    // Security interplay: idling cores must NOT silence the per-core
+    // pollers — the kthread timer wakes the core.
+    Machine m(cometlake_i7_10510u(), 97);
+    os::Kernel kernel(m);
+    plugvolt::Protector protector(kernel, pv::test::comet_map());
+    protector.deploy(plugvolt::DeploymentLevel::KernelModule);
+
+    for (unsigned c = 1; c < m.core_count(); ++c) m.enter_cstate(c, CState::C6);
+    os::Cpupower cpupower(kernel.cpufreq(), m.core_count());
+    cpupower.frequency_set(m.profile().freq_max);
+    m.advance_to(m.rail_settle_time());
+
+    kernel.msr().ioctl_wrmsr(0, 0, kMsrOcMailbox,
+                             encode_offset(Millivolts{-250.0}, VoltagePlane::Core));
+    m.advance(milliseconds(1.0));
+    EXPECT_GE(protector.polling_module()->metrics().detections, 1u);
+    EXPECT_FALSE(m.crashed());
+    const BatchResult probe = m.run_batch(1, InstrClass::Imul, 500'000);
+    EXPECT_EQ(probe.faults, 0u);
+}
+
+TEST(CStates, RebootRestoresC0) {
+    Machine m(cometlake_i7_10510u(), 98);
+    m.enter_cstate(1, CState::C6);
+    m.crash("test");
+    m.reboot();
+    EXPECT_EQ(m.core(1).cstate(), CState::C0);
+}
+
+}  // namespace
+}  // namespace pv::sim

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Csv, RoundTrip) {
+    CsvDocument doc;
+    doc.header = {"freq", "onset", "crash"};
+    doc.rows = {{"800", "-258", "-261"}, {"3600", "-100", "-124"}};
+    const CsvDocument parsed = csv_parse(csv_write(doc));
+    EXPECT_EQ(parsed.header, doc.header);
+    EXPECT_EQ(parsed.rows, doc.rows);
+}
+
+TEST(Csv, RejectsDelimiterInCell) {
+    CsvDocument doc;
+    doc.header = {"a,b"};
+    EXPECT_THROW((void)csv_write(doc), ConfigError);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+    CsvDocument doc;
+    doc.header = {"a", "b"};
+    doc.rows = {{"only-one"}};
+    EXPECT_THROW((void)csv_write(doc), ConfigError);
+    EXPECT_THROW((void)csv_parse("a,b\n1\n"), ConfigError);
+}
+
+TEST(Csv, RejectsEmpty) {
+    EXPECT_THROW((void)csv_parse(""), ConfigError);
+    EXPECT_THROW((void)csv_write(CsvDocument{}), ConfigError);
+}
+
+TEST(Csv, SkipsBlankLines) {
+    const CsvDocument parsed = csv_parse("h1,h2\n\n1,2\n\n");
+    EXPECT_EQ(parsed.rows.size(), 1u);
+}
+
+TEST(Table, RendersAligned) {
+    Table t({"name", "value"});
+    t.add_row({"x", "1.00"});
+    t.add_row({"longer-name", "2.50"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer-name | 2.50  |"), std::string::npos);
+    EXPECT_NE(out.find("|-------------|-------|"), std::string::npos);
+}
+
+TEST(Table, Formatting) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(-1.0, 0), "-1");
+    EXPECT_EQ(Table::pct(0.0028), "0.28%");
+    EXPECT_EQ(Table::pct(-0.0043), "-0.43%");
+}
+
+TEST(Table, RejectsWrongArity) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+    EXPECT_THROW(Table({}), ConfigError);
+}
+
+}  // namespace
+}  // namespace pv

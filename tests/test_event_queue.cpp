@@ -1,0 +1,92 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pv::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(Picoseconds{300}, [&] { order.push_back(3); });
+    q.schedule(Picoseconds{100}, [&] { order.push_back(1); });
+    q.schedule(Picoseconds{200}, [&] { order.push_back(2); });
+    EXPECT_EQ(q.run_until(Picoseconds{1000}), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(Picoseconds{50}, [&order, i] { order.push_back(i); });
+    q.run_until(Picoseconds{50});
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, StopsAtDeadline) {
+    EventQueue q;
+    int fired = 0;
+    q.schedule(Picoseconds{100}, [&] { ++fired; });
+    q.schedule(Picoseconds{200}, [&] { ++fired; });
+    EXPECT_EQ(q.run_until(Picoseconds{150}), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(q.empty());
+    EXPECT_EQ(q.next_time().value(), 200);
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+    EventQueue q;
+    int fired = 0;
+    q.schedule(Picoseconds{10}, [&] {
+        ++fired;
+        q.schedule(Picoseconds{20}, [&] { ++fired; });
+    });
+    q.run_until(Picoseconds{30});
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CallbackScheduleBeyondDeadlineDeferred) {
+    EventQueue q;
+    int fired = 0;
+    q.schedule(Picoseconds{10}, [&] { q.schedule(Picoseconds{100}, [&] { ++fired; }); });
+    q.run_until(Picoseconds{50});
+    EXPECT_EQ(fired, 0);
+    q.run_until(Picoseconds{100});
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RejectsSchedulingIntoPast) {
+    EventQueue q;
+    q.schedule(Picoseconds{100}, [] {});
+    q.run_until(Picoseconds{100});
+    EXPECT_THROW(q.schedule(Picoseconds{50}, [] {}), SimError);
+}
+
+TEST(EventQueue, NextTimeOnEmptyThrows) {
+    EventQueue q;
+    EXPECT_THROW((void)q.next_time(), SimError);
+}
+
+TEST(EventQueue, ClearDropsPending) {
+    EventQueue q;
+    int fired = 0;
+    q.schedule(Picoseconds{10}, [&] { ++fired; });
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    q.run_until(Picoseconds{100});
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, LastDispatchedAdvancesToDeadline) {
+    EventQueue q;
+    q.run_until(Picoseconds{500});
+    EXPECT_EQ(q.last_dispatched().value(), 500);
+}
+
+}  // namespace
+}  // namespace pv::sim

@@ -1,0 +1,137 @@
+// Stochastic fault-model properties (the physics behind Figs. 2-4).
+#include "sim/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu_profile.hpp"
+
+namespace pv::sim {
+namespace {
+
+FaultModel make_model(const CpuProfile& p) {
+    return FaultModel(TimingModel{p.timing}, p.vf_curve());
+}
+
+TEST(FaultModel, ProbabilityMonotoneInVoltage) {
+    const auto model = make_model(skylake_i5_6500());
+    const Megahertz f = from_ghz(3.0);
+    double prev = 1.1;
+    for (double mv = 600.0; mv <= 1100.0; mv += 25.0) {
+        const double p = model.fault_probability(f, Millivolts{mv}, InstrClass::Imul);
+        EXPECT_LE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(FaultModel, ProbabilityMonotoneInFrequency) {
+    const auto model = make_model(skylake_i5_6500());
+    const Millivolts v{760.0};
+    double prev = -1.0;
+    for (double ghz = 0.8; ghz <= 3.6; ghz += 0.2) {
+        const double p = model.fault_probability(from_ghz(ghz), v, InstrClass::Imul);
+        EXPECT_GE(p, prev) << "faster clock, same voltage: tighter timing";
+        prev = p;
+    }
+}
+
+TEST(FaultModel, NominalOperationIsFaultFree) {
+    for (const auto& profile : paper_profiles()) {
+        const auto model = make_model(profile);
+        for (const Megahertz f : profile.frequency_table()) {
+            const double p =
+                model.fault_probability(f, model.nominal_voltage(f), InstrClass::Imul);
+            EXPECT_LT(p, 1e-9) << profile.codename << " @ " << f.value();
+            EXPECT_FALSE(model.would_crash(f, model.nominal_voltage(f)));
+        }
+    }
+}
+
+TEST(FaultModel, BelowThresholdIsCertainFailure) {
+    const auto model = make_model(skylake_i5_6500());
+    EXPECT_DOUBLE_EQ(
+        model.fault_probability(from_ghz(1.0), Millivolts{100.0}, InstrClass::Imul), 1.0);
+    EXPECT_TRUE(model.would_crash(from_ghz(1.0), Millivolts{100.0}));
+}
+
+TEST(FaultModel, CrashStrictlyDeeperThanOnset) {
+    for (const auto& profile : paper_profiles()) {
+        const auto model = make_model(profile);
+        for (const Megahertz f : profile.frequency_table()) {
+            const Millivolts onset = model.onset_offset(f, InstrClass::Imul);
+            const Millivolts crash = model.crash_offset(f);
+            EXPECT_LT(onset.value(), 0.0) << profile.codename;
+            EXPECT_LT(crash, onset) << profile.codename << " @ " << f.value() << " MHz";
+        }
+    }
+}
+
+TEST(FaultModel, ImulOnsetShallowerThanAluOnset) {
+    const auto model = make_model(cometlake_i7_10510u());
+    const Megahertz f = from_ghz(4.0);
+    const Millivolts imul = model.onset_offset(f, InstrClass::Imul);
+    const Millivolts alu = model.onset_offset(f, InstrClass::Alu);
+    // The longest path faults first: at a shallower (less negative) offset.
+    EXPECT_GT(imul, alu);
+}
+
+TEST(FaultModel, OnsetAtObservabilityCriterion) {
+    const auto model = make_model(skylake_i5_6500());
+    const Megahertz f = from_ghz(2.0);
+    const Millivolts onset = model.onset_offset(f, InstrClass::Imul, 1'000'000);
+    const Millivolts vn = model.nominal_voltage(f);
+    const double p_at_onset =
+        model.fault_probability(f, vn + onset, InstrClass::Imul);
+    // Expected faults in 1e6 ops at the onset ~= 3 (within bisection slop).
+    EXPECT_NEAR(p_at_onset * 1e6, 3.0, 0.5);
+}
+
+TEST(FaultModel, OnsetDependsOnSampleSize) {
+    const auto model = make_model(skylake_i5_6500());
+    const Megahertz f = from_ghz(2.0);
+    const Millivolts small = model.onset_offset(f, InstrClass::Imul, 1'000);
+    const Millivolts large = model.onset_offset(f, InstrClass::Imul, 100'000'000);
+    // More observations surface faults at shallower offsets.
+    EXPECT_GT(large, small);
+}
+
+TEST(FaultModel, CorruptValueAlwaysDiffers) {
+    const auto model = make_model(skylake_i5_6500());
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t v = rng.next_u64();
+        EXPECT_NE(model.corrupt_value(rng, v), v);
+    }
+}
+
+TEST(FaultModel, CorruptValueFlipsUpperColumns) {
+    const auto model = make_model(skylake_i5_6500());
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t diff = model.corrupt_value(rng, 0) ^ 0;
+        EXPECT_EQ(diff & 0xFFFFULL, 0u) << "low 16 bits never flip";
+        EXPECT_NE(diff, 0u);
+    }
+}
+
+// Property sweep: the onset curve magnitude shrinks as frequency grows
+// (the defining shape of the paper's Figs. 2-4), within the sweep-visible
+// range, for each paper profile.
+class OnsetShape : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnsetShape, OnsetMagnitudeShrinksWithFrequency) {
+    const CpuProfile profile = paper_profiles()[static_cast<std::size_t>(GetParam())];
+    const auto model = make_model(profile);
+    double prev_onset = -1e9;
+    for (const Megahertz f : profile.frequency_table()) {
+        const double onset = model.onset_offset(f, InstrClass::Imul).value();
+        if (onset < -300.0) continue;  // beyond the paper's sweep floor
+        EXPECT_GE(onset, prev_onset - 0.6)  // small tolerance for bisection noise
+            << profile.codename << " @ " << f.value() << " MHz";
+        prev_onset = std::max(prev_onset, onset);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperProfiles, OnsetShape, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace pv::sim

@@ -1,0 +1,30 @@
+// Shared fixtures for the PlugVolt test suite.
+#pragma once
+
+#include "os/kernel.hpp"
+#include "plugvolt/characterizer.hpp"
+#include "plugvolt/safe_state.hpp"
+#include "sim/cpu_profile.hpp"
+#include "sim/machine.hpp"
+
+namespace pv::test {
+
+/// Characterize a profile once per process (5 mV steps keep it fast) and
+/// hand out copies.  Characterization is deterministic, so sharing is safe.
+inline const plugvolt::SafeStateMap& cached_map(const sim::CpuProfile& profile) {
+    static std::map<std::string, plugvolt::SafeStateMap> cache;
+    const auto it = cache.find(profile.name);
+    if (it != cache.end()) return it->second;
+    sim::Machine machine(profile, /*seed=*/0xC0FFEE);
+    os::Kernel kernel(machine);
+    plugvolt::CharacterizerConfig config;
+    config.offset_step = Millivolts{5.0};
+    plugvolt::Characterizer characterizer(kernel, config);
+    return cache.emplace(profile.name, characterizer.characterize()).first->second;
+}
+
+inline const plugvolt::SafeStateMap& comet_map() {
+    return cached_map(sim::cometlake_i7_10510u());
+}
+
+}  // namespace pv::test

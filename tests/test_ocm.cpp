@@ -1,0 +1,102 @@
+// Table 1 reproduction tests: the MSR 0x150 bit layout and the paper's
+// Algorithm 1 encoder.
+#include "sim/ocm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pv::sim {
+namespace {
+
+TEST(Ocm, FixedBitsSet) {
+    const std::uint64_t raw = encode_offset(Millivolts{-100.0}, VoltagePlane::Core);
+    EXPECT_TRUE(raw & (1ULL << 63)) << "command bit 63 must be set";
+    EXPECT_TRUE(raw & (1ULL << 32)) << "write-enable bit 32 must be set";
+    EXPECT_EQ(raw & 0x1FFFFFULL, 0u) << "bits 0-20 are reserved";
+}
+
+TEST(Ocm, PlaneFieldBits40To42) {
+    for (const auto plane : {VoltagePlane::Core, VoltagePlane::Gpu, VoltagePlane::Cache,
+                             VoltagePlane::Uncore, VoltagePlane::AnalogIo}) {
+        const std::uint64_t raw = encode_offset(Millivolts{-10.0}, plane);
+        EXPECT_EQ((raw >> 40) & 0x7, static_cast<std::uint64_t>(plane));
+    }
+}
+
+TEST(Ocm, OffsetFieldIsElevenBitTwosComplement) {
+    // -102 steps (for -100 mV: trunc(-100*1024/1000) = -102) in 11 bits.
+    const std::uint64_t raw = encode_offset(Millivolts{-100.0}, VoltagePlane::Core);
+    const std::uint64_t field = (raw >> 21) & 0x7FF;
+    EXPECT_EQ(field, 2048u - 102u);
+}
+
+TEST(Ocm, ZeroOffsetEncodesZeroField) {
+    const std::uint64_t raw = encode_offset(Millivolts{0.0}, VoltagePlane::Core);
+    EXPECT_EQ((raw >> 21) & 0x7FF, 0u);
+}
+
+TEST(Ocm, DecodeRoundTripQuantized) {
+    for (double mv = -300.0; mv <= 0.0; mv += 7.0) {
+        const auto req = decode_offset(encode_offset(Millivolts{mv}, VoltagePlane::Core));
+        ASSERT_TRUE(req.has_value());
+        EXPECT_TRUE(req->command);
+        EXPECT_TRUE(req->write_enable);
+        EXPECT_EQ(req->plane, VoltagePlane::Core);
+        // 1/1024 V quantization with truncation: within one step (~0.98 mV).
+        EXPECT_NEAR(req->offset.value(), mv, 1.0) << "mv=" << mv;
+        EXPECT_GE(req->offset.value(), mv - 1e-9) << "truncation moves toward zero";
+    }
+}
+
+TEST(Ocm, DecodePositiveOffsets) {
+    const auto req = decode_offset(encode_offset(Millivolts{50.0}, VoltagePlane::Core));
+    ASSERT_TRUE(req.has_value());
+    EXPECT_NEAR(req->offset.value(), 50.0, 1.0);
+    EXPECT_GT(req->offset.value(), 0.0);
+}
+
+TEST(Ocm, ClampsToRepresentableRange) {
+    const auto deep = decode_offset(encode_offset(Millivolts{-5000.0}, VoltagePlane::Core));
+    ASSERT_TRUE(deep.has_value());
+    EXPECT_NEAR(deep->offset.value(), -1000.0, 1.0);  // -1024 steps
+    const auto high = decode_offset(encode_offset(Millivolts{5000.0}, VoltagePlane::Core));
+    ASSERT_TRUE(high.has_value());
+    EXPECT_NEAR(high->offset.value(), 999.0, 1.0);  // +1023 steps
+}
+
+TEST(Ocm, UnassignedPlaneDecodesToNullopt) {
+    std::uint64_t raw = encode_offset(Millivolts{-10.0}, VoltagePlane::Core);
+    raw |= (7ULL << 40);  // plane index 7 is unassigned
+    EXPECT_FALSE(decode_offset(raw).has_value());
+}
+
+TEST(Ocm, WriteEnableBitObserved) {
+    std::uint64_t raw = encode_offset(Millivolts{-10.0}, VoltagePlane::Core);
+    raw &= ~(1ULL << 32);
+    const auto req = decode_offset(raw);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_FALSE(req->write_enable);
+}
+
+// Cross-validation against the literal Algorithm 1 transcription: the
+// library encoder must be bit-identical over the paper's entire sweep
+// range (and beyond, to the representable floor).
+class OcmAlgo1 : public ::testing::TestWithParam<int> {};
+
+TEST_P(OcmAlgo1, MatchesLibraryEncoder) {
+    const int mv = GetParam();
+    for (unsigned plane = 0; plane <= 4; ++plane) {
+        EXPECT_EQ(algo1_offset_voltage(mv, plane),
+                  encode_offset(Millivolts{static_cast<double>(mv)},
+                                static_cast<VoltagePlane>(plane)))
+            << "offset=" << mv << " plane=" << plane;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepRange, OcmAlgo1, ::testing::Range(-999, 1, 13));
+INSTANTIATE_TEST_SUITE_P(PaperGrid, OcmAlgo1,
+                         ::testing::Values(-1, -2, -3, -50, -100, -150, -200, -250, -300, 0));
+
+}  // namespace
+}  // namespace pv::sim

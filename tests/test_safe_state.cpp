@@ -1,0 +1,144 @@
+#include "plugvolt/safe_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pv::plugvolt {
+namespace {
+
+SafeStateMap make_map() {
+    SafeStateMap map("test-system", Millivolts{-300.0});
+    map.add({.freq = from_ghz(1.0), .onset = Millivolts{-250.0}, .crash = Millivolts{-260.0}});
+    map.add({.freq = from_ghz(2.0), .onset = Millivolts{-200.0}, .crash = Millivolts{-215.0}});
+    map.add({.freq = from_ghz(3.0), .onset = Millivolts{-120.0}, .crash = Millivolts{-145.0}});
+    return map;
+}
+
+TEST(SafeStateMap, ClassifiesRegions) {
+    const SafeStateMap map = make_map();
+    EXPECT_EQ(map.classify(from_ghz(2.0), Millivolts{0.0}), StateClass::Safe);
+    EXPECT_EQ(map.classify(from_ghz(2.0), Millivolts{-199.0}), StateClass::Safe);
+    EXPECT_EQ(map.classify(from_ghz(2.0), Millivolts{-200.0}), StateClass::Unsafe);
+    EXPECT_EQ(map.classify(from_ghz(2.0), Millivolts{-214.0}), StateClass::Unsafe);
+    EXPECT_EQ(map.classify(from_ghz(2.0), Millivolts{-215.0}), StateClass::Crash);
+    EXPECT_EQ(map.classify(from_ghz(2.0), Millivolts{-299.0}), StateClass::Crash);
+}
+
+TEST(SafeStateMap, UsesNearestFrequencyRow) {
+    const SafeStateMap map = make_map();
+    // 1.4 GHz is nearest to the 1.0 GHz row; 1.6 GHz to the 2.0 GHz row.
+    EXPECT_EQ(map.classify(Megahertz{1400.0}, Millivolts{-230.0}), StateClass::Safe);
+    EXPECT_EQ(map.classify(Megahertz{1600.0}, Millivolts{-230.0}), StateClass::Crash);
+}
+
+TEST(SafeStateMap, FaultFreeRowsSafeToSweepFloor) {
+    SafeStateMap map("t", Millivolts{-300.0});
+    map.add({.freq = from_ghz(0.5),
+             .onset = Millivolts{0.0},
+             .crash = Millivolts{-301.0},
+             .fault_free = true});
+    EXPECT_EQ(map.classify(from_ghz(0.5), Millivolts{-300.0}), StateClass::Safe);
+    // Below the sweep floor nothing was characterized: conservative.
+    EXPECT_EQ(map.classify(from_ghz(0.5), Millivolts{-301.0}), StateClass::Unsafe);
+}
+
+TEST(SafeStateMap, IsUnsafeCoversUnsafeAndCrash) {
+    const SafeStateMap map = make_map();
+    EXPECT_FALSE(map.is_unsafe(from_ghz(3.0), Millivolts{-100.0}));
+    EXPECT_TRUE(map.is_unsafe(from_ghz(3.0), Millivolts{-130.0}));
+    EXPECT_TRUE(map.is_unsafe(from_ghz(3.0), Millivolts{-200.0}));
+}
+
+TEST(SafeStateMap, SafeLimitAppliesGuard) {
+    const SafeStateMap map = make_map();
+    EXPECT_DOUBLE_EQ(map.safe_limit(from_ghz(3.0), Millivolts{15.0}).value(), -105.0);
+    EXPECT_DOUBLE_EQ(map.safe_limit(from_ghz(1.0), Millivolts{15.0}).value(), -235.0);
+    // Guard larger than the onset magnitude clamps to zero.
+    SafeStateMap shallow("t", Millivolts{-300.0});
+    shallow.add({.freq = from_ghz(1.0), .onset = Millivolts{-10.0}, .crash = Millivolts{-20.0}});
+    EXPECT_DOUBLE_EQ(shallow.safe_limit(from_ghz(1.0), Millivolts{15.0}).value(), 0.0);
+}
+
+TEST(SafeStateMap, MaximalSafeIsShallowestOnsetPlusGuard) {
+    const SafeStateMap map = make_map();
+    EXPECT_DOUBLE_EQ(map.maximal_safe_offset(Millivolts{15.0}).value(), -105.0);
+    EXPECT_DOUBLE_EQ(map.maximal_safe_offset(Millivolts{0.0}).value(), -120.0);
+}
+
+TEST(SafeStateMap, MaximalSafeIgnoresFaultFreeRows) {
+    SafeStateMap map("t", Millivolts{-300.0});
+    map.add({.freq = from_ghz(0.5),
+             .onset = Millivolts{0.0},
+             .crash = Millivolts{-301.0},
+             .fault_free = true});
+    map.add({.freq = from_ghz(2.0), .onset = Millivolts{-150.0}, .crash = Millivolts{-170.0}});
+    EXPECT_DOUBLE_EQ(map.maximal_safe_offset(Millivolts{10.0}).value(), -140.0);
+}
+
+TEST(SafeStateMap, MaxSafeFrequency) {
+    const SafeStateMap map = make_map();
+    // -100 (deepened by guard 10 -> -110) is safe at every row.
+    EXPECT_DOUBLE_EQ(map.max_safe_frequency(Millivolts{-100.0}, Millivolts{10.0}).value(),
+                     3000.0);
+    // -150 - 10 = -160: unsafe at 3 GHz (onset -120), safe at 2 GHz.
+    EXPECT_DOUBLE_EQ(map.max_safe_frequency(Millivolts{-150.0}, Millivolts{10.0}).value(),
+                     2000.0);
+    // Deeper than everything: falls back to the lowest row.
+    EXPECT_DOUBLE_EQ(map.max_safe_frequency(Millivolts{-290.0}, Millivolts{10.0}).value(),
+                     1000.0);
+}
+
+TEST(SafeStateMap, CsvRoundTrip) {
+    const SafeStateMap map = make_map();
+    const SafeStateMap restored =
+        SafeStateMap::from_csv(map.to_csv(), "test-system", Millivolts{-300.0});
+    ASSERT_EQ(restored.rows().size(), map.rows().size());
+    for (std::size_t i = 0; i < map.rows().size(); ++i) {
+        EXPECT_DOUBLE_EQ(restored.rows()[i].freq.value(), map.rows()[i].freq.value());
+        EXPECT_DOUBLE_EQ(restored.rows()[i].onset.value(), map.rows()[i].onset.value());
+        EXPECT_DOUBLE_EQ(restored.rows()[i].crash.value(), map.rows()[i].crash.value());
+        EXPECT_EQ(restored.rows()[i].fault_free, map.rows()[i].fault_free);
+    }
+    EXPECT_EQ(map.classify(from_ghz(2.0), Millivolts{-210.0}),
+              restored.classify(from_ghz(2.0), Millivolts{-210.0}));
+}
+
+TEST(SafeStateMap, CsvRejectsWrongHeader) {
+    EXPECT_THROW((void)SafeStateMap::from_csv("a,b\n1,2\n", "x", Millivolts{-300.0}),
+                 ConfigError);
+}
+
+TEST(SafeStateMap, ValidatesConstruction) {
+    EXPECT_THROW(SafeStateMap("t", Millivolts{0.0}), ConfigError);
+    EXPECT_THROW(SafeStateMap("t", Millivolts{10.0}), ConfigError);
+
+    SafeStateMap map("t", Millivolts{-300.0});
+    map.add({.freq = from_ghz(2.0), .onset = Millivolts{-100.0}, .crash = Millivolts{-120.0}});
+    // Out-of-order rows rejected.
+    EXPECT_THROW(map.add({.freq = from_ghz(1.0),
+                          .onset = Millivolts{-200.0},
+                          .crash = Millivolts{-210.0}}),
+                 ConfigError);
+    // Crash shallower than onset rejected.
+    EXPECT_THROW(map.add({.freq = from_ghz(3.0),
+                          .onset = Millivolts{-100.0},
+                          .crash = Millivolts{-90.0}}),
+                 ConfigError);
+}
+
+TEST(SafeStateMap, EmptyMapQueriesThrow) {
+    const SafeStateMap map("t", Millivolts{-300.0});
+    EXPECT_THROW((void)map.classify(from_ghz(1.0), Millivolts{-10.0}), ConfigError);
+    EXPECT_THROW((void)map.maximal_safe_offset(), ConfigError);
+    EXPECT_THROW((void)map.max_safe_frequency(Millivolts{-10.0}), ConfigError);
+}
+
+TEST(SafeStateMap, StateClassNames) {
+    EXPECT_STREQ(to_string(StateClass::Safe), "safe");
+    EXPECT_STREQ(to_string(StateClass::Unsafe), "unsafe");
+    EXPECT_STREQ(to_string(StateClass::Crash), "crash");
+}
+
+}  // namespace
+}  // namespace pv::plugvolt

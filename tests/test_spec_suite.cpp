@@ -1,0 +1,103 @@
+// Table 2 harness tests: overhead must emerge from the cycle accounting.
+#include "workload/spec_suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "workload/spec.hpp"
+
+namespace pv::workload {
+namespace {
+
+SpecSuiteConfig quick_config() {
+    SpecSuiteConfig config;
+    config.units = 40;  // keep the test fast; the bench uses more
+    return config;
+}
+
+TEST(SpecSuite, MeasureRateIsPositiveAndDeterministic) {
+    SpecSuite suite(sim::cometlake_i7_10510u(), quick_config());
+    auto w = make_x264(3);
+    const auto& map = test::comet_map();
+    const double a = suite.measure_rate(*w, from_ghz(4.6), false, map, {}, 1.0, 100.0, 5);
+    auto w2 = make_x264(3);
+    const double b = suite.measure_rate(*w2, from_ghz(4.6), false, map, {}, 1.0, 100.0, 5);
+    EXPECT_GT(a, 0.0);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SpecSuite, PollingCostsThroughputButLittle) {
+    SpecSuiteConfig config = quick_config();
+    config.noise_fraction = 0.0;  // isolate the pure stolen-cycle effect
+    SpecSuite suite(sim::cometlake_i7_10510u(), config);
+    const auto& map = test::comet_map();
+    auto w = make_bwaves(3);
+    const double without = suite.measure_rate(*w, from_ghz(4.6), false, map, {}, 1.0, 100.0, 9);
+    auto w2 = make_bwaves(3);
+    const double with = suite.measure_rate(*w2, from_ghz(4.6), true, map, {}, 1.0, 100.0, 9);
+    const double slowdown = (without - with) / without;
+    EXPECT_GT(slowdown, 0.0) << "polling must cost something";
+    EXPECT_LT(slowdown, 0.01) << "but well under 1%";
+}
+
+TEST(SpecSuite, OverheadScalesWithPollRate) {
+    SpecSuiteConfig config = quick_config();
+    config.noise_fraction = 0.0;
+    SpecSuite suite(sim::cometlake_i7_10510u(), config);
+    const auto& map = test::comet_map();
+
+    auto slowdown_at = [&](double interval_us, std::uint64_t salt) {
+        plugvolt::PollingConfig polling;
+        polling.interval = microseconds(interval_us);
+        auto a = make_namd(3);
+        const double without =
+            suite.measure_rate(*a, from_ghz(4.6), false, map, polling, 1.0, 100.0, salt);
+        auto b = make_namd(3);
+        const double with =
+            suite.measure_rate(*b, from_ghz(4.6), true, map, polling, 1.0, 100.0, salt);
+        return (without - with) / without;
+    };
+    const double fast = slowdown_at(25.0, 21);
+    const double slow = slowdown_at(400.0, 22);
+    EXPECT_GT(fast, 2.0 * slow) << "more polls, more stolen cycles";
+}
+
+TEST(SpecSuite, FullRunReproducesTable2Shape) {
+    SpecSuiteConfig config;
+    config.units = 60;
+    SpecSuite suite(sim::cometlake_i7_10510u(), config);
+    const auto scores = suite.run(test::comet_map(), {});
+    ASSERT_EQ(scores.size(), 23u);
+
+    const auto& anchors = table2_anchors();
+    OnlineStats base_slowdowns, peak_slowdowns;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        // Without-polling rates land on the paper anchors (within noise).
+        EXPECT_NEAR(scores[i].base_rate_without, anchors[i].base_rate,
+                    anchors[i].base_rate * 0.02)
+            << scores[i].name;
+        EXPECT_NEAR(scores[i].peak_rate_without, anchors[i].peak_rate,
+                    anchors[i].peak_rate * 0.02)
+            << scores[i].name;
+        // Per-benchmark slowdown stays small (the paper's worst is 4.24%).
+        EXPECT_LT(std::abs(scores[i].base_slowdown()), 0.05) << scores[i].name;
+        base_slowdowns.add(scores[i].base_slowdown());
+        peak_slowdowns.add(scores[i].peak_slowdown());
+    }
+    // The headline number: average overhead in the 0.28%-ish regime.
+    const double mean =
+        0.5 * (base_slowdowns.mean() + peak_slowdowns.mean());
+    EXPECT_GT(mean, 0.0005);
+    EXPECT_LT(mean, 0.006);
+}
+
+TEST(SpecSuite, RejectsZeroUnits) {
+    SpecSuiteConfig config;
+    config.units = 0;
+    EXPECT_THROW(SpecSuite(sim::cometlake_i7_10510u(), config), pv::ConfigError);
+}
+
+}  // namespace
+}  // namespace pv::workload

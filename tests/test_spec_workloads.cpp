@@ -1,0 +1,87 @@
+// The 23 SPEC2017-rate stand-in kernels.
+#include "workload/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/spec_suite.hpp"
+
+namespace pv::workload {
+namespace {
+
+TEST(SpecSuiteFactory, Has23KernelsInTable2Order) {
+    const auto suite = spec2017_rate_suite(1);
+    ASSERT_EQ(suite.size(), 23u);
+    const auto& anchors = table2_anchors();
+    ASSERT_EQ(anchors.size(), 23u);
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(suite[i]->name(), anchors[i].name) << i;
+}
+
+TEST(SpecSuiteFactory, NamesAreUnique) {
+    const auto suite = spec2017_rate_suite(1);
+    std::set<std::string> names;
+    for (const auto& w : suite) names.emplace(w->name());
+    EXPECT_EQ(names.size(), suite.size());
+}
+
+// Parameterized over all 23 kernels.
+class SpecKernel : public ::testing::TestWithParam<int> {
+protected:
+    [[nodiscard]] std::unique_ptr<Workload> make(std::uint64_t seed) const {
+        auto suite = spec2017_rate_suite(seed);
+        return std::move(suite[static_cast<std::size_t>(GetParam())]);
+    }
+};
+
+TEST_P(SpecKernel, DeterministicForSeed) {
+    auto a = make(42);
+    auto b = make(42);
+    EXPECT_EQ(a->run_units(3), b->run_units(3)) << a->name();
+}
+
+TEST_P(SpecKernel, ChecksumDependsOnWork) {
+    auto a = make(42);
+    auto b = make(42);
+    EXPECT_NE(a->run_units(2), b->run_units(4)) << a->name();
+}
+
+TEST_P(SpecKernel, CostModelIsPlausible) {
+    auto w = make(1);
+    const CostModel cost = w->cost_model();
+    EXPECT_GE(cost.instructions_per_unit, 100'000u) << w->name();
+    EXPECT_LE(cost.instructions_per_unit, 10'000'000u) << w->name();
+    EXPECT_GE(cost.ipc, 0.5) << w->name();
+    EXPECT_LE(cost.ipc, 4.0) << w->name();
+}
+
+TEST_P(SpecKernel, ZeroUnitsIsIdentityChecksum) {
+    auto w = make(7);
+    EXPECT_EQ(w->run_units(0), 0u) << w->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(All23, SpecKernel, ::testing::Range(0, 23));
+
+TEST(SpecKernels, DifferentSeedsUsuallyDiffer) {
+    const auto a = spec2017_rate_suite(1);
+    const auto b = spec2017_rate_suite(2);
+    int differing = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differing += (a[i]->run_units(2) != b[i]->run_units(2));
+    EXPECT_GE(differing, 20) << "kernels must actually consume their seed";
+}
+
+TEST(SpecKernels, IpcSpreadCoversMemoryAndComputeBound) {
+    const auto suite = spec2017_rate_suite(1);
+    double lo = 10.0, hi = 0.0;
+    for (const auto& w : suite) {
+        lo = std::min(lo, w->cost_model().ipc);
+        hi = std::max(hi, w->cost_model().ipc);
+    }
+    EXPECT_LT(lo, 1.0) << "a memory-bound kernel (mcf family) exists";
+    EXPECT_GT(hi, 2.0) << "a compute-dense kernel (x264 family) exists";
+}
+
+}  // namespace
+}  // namespace pv::workload

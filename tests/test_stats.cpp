@@ -1,0 +1,77 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pv {
+namespace {
+
+TEST(OnlineStats, Basics) {
+    OnlineStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleSampleVarianceZero) {
+    OnlineStats s;
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Geomean, KnownValues) {
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-12);
+}
+
+TEST(Geomean, RejectsEmptyAndNonPositive) {
+    EXPECT_THROW((void)geomean({}), ConfigError);
+    EXPECT_THROW((void)geomean({1.0, 0.0}), ConfigError);
+    EXPECT_THROW((void)geomean({1.0, -2.0}), ConfigError);
+}
+
+TEST(Percentile, Interpolation) {
+    const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, Errors) {
+    EXPECT_THROW((void)percentile({}, 50.0), ConfigError);
+    EXPECT_THROW((void)percentile({1.0}, -1.0), ConfigError);
+    EXPECT_THROW((void)percentile({1.0}, 101.0), ConfigError);
+}
+
+TEST(NormalCdf, KnownPoints) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.0), 0.8413447, 1e-6);
+    EXPECT_NEAR(normal_cdf(-1.96), 0.0249979, 1e-6);
+    EXPECT_NEAR(normal_cdf(-4.5), 3.398e-6, 1e-8);
+}
+
+class NormalQuantileRoundtrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileRoundtrip, InvertsCdf) {
+    const double p = GetParam();
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-8) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, NormalQuantileRoundtrip,
+                         ::testing::Values(1e-7, 1e-5, 1e-3, 0.02, 0.25, 0.5, 0.75, 0.98,
+                                           0.999, 1.0 - 1e-6));
+
+TEST(NormalQuantile, RejectsOutOfDomain) {
+    EXPECT_THROW((void)normal_quantile(0.0), ConfigError);
+    EXPECT_THROW((void)normal_quantile(1.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace pv

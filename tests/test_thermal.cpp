@@ -1,0 +1,143 @@
+// Die thermal model and its coupling into the fault physics.
+#include "sim/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/cpu_profile.hpp"
+#include "sim/machine.hpp"
+#include "util/error.hpp"
+
+namespace pv::sim {
+namespace {
+
+ThermalParams params() { return cometlake_i7_10510u().thermal; }
+
+TEST(ThermalModel, StartsAtAmbient) {
+    const ThermalModel model(params());
+    EXPECT_DOUBLE_EQ(model.temperature_c(), params().ambient_c);
+    EXPECT_DOUBLE_EQ(model.delay_scale(), 1.0);
+    EXPECT_FALSE(model.at_tjmax());
+}
+
+TEST(ThermalModel, ApproachesSteadyStateExponentially) {
+    ThermalModel model(params());
+    // 10 W at 5 C/W -> steady state 75 C.
+    model.update(milliseconds(params().tau_ms), 10.0);
+    const double steady = params().ambient_c + 50.0;
+    // After one time constant: ~63% of the way there.
+    EXPECT_NEAR(model.temperature_c(),
+                steady + (params().ambient_c - steady) * std::exp(-1.0), 0.5);
+    model.update(milliseconds(100.0 * params().tau_ms), 10.0);
+    EXPECT_NEAR(model.temperature_c(), steady, 0.01);
+}
+
+TEST(ThermalModel, CoolsBackWhenIdle) {
+    ThermalModel model(params());
+    model.force_temperature(80.0);
+    model.update(milliseconds(100.0 * params().tau_ms), 0.0);
+    EXPECT_NEAR(model.temperature_c(), params().ambient_c, 0.01);
+}
+
+TEST(ThermalModel, DelayScaleGrowsWithTemperature) {
+    ThermalModel model(params());
+    model.force_temperature(85.0);
+    EXPECT_NEAR(model.delay_scale(), 1.0 + params().delay_per_c * 60.0, 1e-12);
+    model.force_temperature(10.0);  // below reference: never speeds up the model
+    EXPECT_DOUBLE_EQ(model.delay_scale(), 1.0);
+}
+
+TEST(ThermalModel, MsrEncodings) {
+    ThermalModel model(params());
+    model.force_temperature(params().tjmax_c - 37.0);
+    EXPECT_EQ((model.therm_status_msr() >> 16) & 0x7F, 37u);
+    EXPECT_TRUE(model.therm_status_msr() & (1ULL << 31));
+    model.force_temperature(params().tjmax_c + 5.0);
+    EXPECT_EQ((model.therm_status_msr() >> 16) & 0x7F, 0u);
+    EXPECT_TRUE(model.at_tjmax());
+    EXPECT_EQ((model.temperature_target_msr() >> 16) & 0xFF,
+              static_cast<std::uint64_t>(params().tjmax_c));
+}
+
+TEST(ThermalModel, Validation) {
+    ThermalParams p = params();
+    p.r_th_c_per_w = 0.0;
+    EXPECT_THROW(ThermalModel{p}, ConfigError);
+    p = params();
+    p.tjmax_c = p.ambient_c;
+    EXPECT_THROW(ThermalModel{p}, ConfigError);
+    ThermalModel model(params());
+    model.update(milliseconds(1.0), 1.0);
+    EXPECT_THROW(model.update(Picoseconds{0}, 1.0), SimError);
+}
+
+TEST(MachineThermal, HeatsUnderSustainedLoad) {
+    Machine m(cometlake_i7_10510u(), 61);
+    m.set_all_frequencies(m.profile().freq_max);
+    m.advance_to(m.rail_settle_time());
+    const double cold = m.thermal().temperature_c();
+    // ~100 ms of flat-out work on all cores.
+    for (int slice = 0; slice < 20; ++slice)
+        for (unsigned c = 0; c < m.core_count(); ++c)
+            (void)m.run_batch(c, InstrClass::Alu, 5'000'000);
+    EXPECT_GT(m.thermal().temperature_c(), cold + 3.0);
+}
+
+TEST(MachineThermal, CoolsWhenIdle) {
+    Machine m(cometlake_i7_10510u(), 62);
+    m.set_die_temperature(80.0);
+    m.advance(milliseconds(200.0));
+    EXPECT_LT(m.thermal().temperature_c(), 40.0);
+}
+
+TEST(MachineThermal, HotDieFaultsAtShallowerOffsets) {
+    const auto profile = cometlake_i7_10510u();
+    const FaultModel model(TimingModel{profile.timing}, profile.vf_curve());
+    const Megahertz f = profile.freq_max;
+    const double hot_scale = 1.0 + profile.thermal.delay_per_c * 60.0;  // 85 C
+    const Millivolts cold = model.onset_offset(f, InstrClass::Imul, 1'000'000, 1.0);
+    const Millivolts hot = model.onset_offset(f, InstrClass::Imul, 1'000'000, hot_scale);
+    EXPECT_GT(hot, cold) << "hot onset must be shallower (less headroom)";
+    EXPECT_GT((hot - cold).value(), 10.0) << "the shift is material at 85 C";
+}
+
+TEST(MachineThermal, HotMachineFaultsWhereColdOneDoesNot) {
+    const auto profile = cometlake_i7_10510u();
+    auto faults_at = [&](double die_temp) {
+        Machine m(profile, 63);
+        m.set_all_frequencies(profile.freq_max);
+        m.advance_to(m.rail_settle_time());
+        m.set_die_temperature(die_temp);
+        // Sit just above the COLD onset: safe cold, unsafe hot.
+        const Millivolts cold_onset =
+            m.fault_model().onset_offset(profile.freq_max, InstrClass::Imul);
+        m.write_msr(0, kMsrOcMailbox,
+                    encode_offset(cold_onset + Millivolts{4.0}, VoltagePlane::Core));
+        m.advance_to(m.rail_settle_time());
+        if (m.crashed()) return std::uint64_t{999999};
+        // Hold the temperature through the batch (short batch, tau 20ms).
+        return m.run_batch(1, InstrClass::Imul, 1'000'000).faults;
+    };
+    EXPECT_EQ(faults_at(25.0), 0u);
+    EXPECT_GT(faults_at(85.0), 0u);
+}
+
+TEST(MachineThermal, ThermMsrsReadable) {
+    Machine m(cometlake_i7_10510u(), 64);
+    m.set_die_temperature(60.0);
+    const std::uint64_t status = m.read_msr(0, kMsrThermStatus);
+    EXPECT_EQ((status >> 16) & 0x7F, 40u);  // Tjmax 100 - 60
+    EXPECT_EQ((m.read_msr(0, kMsrTemperatureTarget) >> 16) & 0xFF, 100u);
+}
+
+TEST(MachineThermal, RebootCoolsTheDie) {
+    Machine m(cometlake_i7_10510u(), 65);
+    m.set_die_temperature(90.0);
+    m.crash("test");
+    m.reboot();
+    EXPECT_DOUBLE_EQ(m.thermal().temperature_c(), m.profile().thermal.ambient_c);
+}
+
+}  // namespace
+}  // namespace pv::sim

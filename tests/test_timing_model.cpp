@@ -1,0 +1,111 @@
+// Eq. 1-3 physics tests.
+#include "sim/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/cpu_profile.hpp"
+#include "util/error.hpp"
+
+namespace pv::sim {
+namespace {
+
+TimingParams params() { return skylake_i5_6500().timing; }
+
+TEST(TimingModel, DelayDecreasesWithVoltage) {
+    const TimingModel model(params());
+    double prev = model.path_delay_ps(Millivolts{400.0});
+    for (double mv = 450.0; mv <= 1300.0; mv += 50.0) {
+        const double d = model.path_delay_ps(Millivolts{mv});
+        EXPECT_LT(d, prev) << "delay must shrink as voltage rises, at " << mv;
+        prev = d;
+    }
+}
+
+TEST(TimingModel, DelayExplodesAtThreshold) {
+    const TimingModel model(params());
+    EXPECT_TRUE(std::isinf(model.path_delay_ps(params().threshold_voltage)));
+    EXPECT_TRUE(std::isinf(model.path_delay_ps(Millivolts{100.0})));
+}
+
+TEST(TimingModel, SlackIsPeriodMinusOverheads) {
+    const TimingModel model(params());
+    const Megahertz f = from_ghz(2.0);
+    EXPECT_DOUBLE_EQ(model.slack_ps(f),
+                     500.0 - params().setup_time_ps - params().clock_uncertainty_ps);
+}
+
+TEST(TimingModel, MarginSignFlipsAtCriticalVoltage) {
+    const TimingModel model(params());
+    const Megahertz f = from_ghz(3.0);
+    const Millivolts vc = model.critical_voltage(f, InstrClass::Imul);
+    EXPECT_GT(model.margin_ps(f, vc + Millivolts{5.0}, InstrClass::Imul), 0.0);
+    EXPECT_LT(model.margin_ps(f, vc - Millivolts{5.0}, InstrClass::Imul), 0.0);
+    EXPECT_NEAR(model.margin_ps(f, vc, InstrClass::Imul), 0.0, 0.5);
+}
+
+TEST(TimingModel, CriticalVoltageGrowsWithFrequency) {
+    const TimingModel model(params());
+    double prev = 0.0;
+    for (double ghz = 1.0; ghz <= 3.6; ghz += 0.2) {
+        const double vc = model.critical_voltage(from_ghz(ghz), InstrClass::Imul).value();
+        EXPECT_GT(vc, prev) << "faster clock needs more voltage, at " << ghz << " GHz";
+        prev = vc;
+    }
+}
+
+TEST(TimingModel, ShorterPathsHaveLowerCriticalVoltage) {
+    const TimingModel model(params());
+    const Megahertz f = from_ghz(3.0);
+    const double imul = model.critical_voltage(f, InstrClass::Imul).value();
+    const double fpmul = model.critical_voltage(f, InstrClass::FpMul).value();
+    const double alu = model.critical_voltage(f, InstrClass::Alu).value();
+    EXPECT_GT(imul, fpmul);
+    EXPECT_GT(fpmul, alu);
+}
+
+TEST(TimingModel, BreakdownIsConsistent) {
+    const TimingModel model(params());
+    const Megahertz f = from_ghz(2.4);
+    const Millivolts v{900.0};
+    const TimingBreakdown b = model.breakdown(f, v, InstrClass::Imul);
+    EXPECT_NEAR(b.t_src + b.t_prop, model.path_delay_ps(v, InstrClass::Imul), 1e-9);
+    EXPECT_DOUBLE_EQ(b.t_clk, f.period_ps());
+    EXPECT_DOUBLE_EQ(b.t_setup, params().setup_time_ps);
+    EXPECT_DOUBLE_EQ(b.t_eps, params().clock_uncertainty_ps);
+    EXPECT_NEAR(b.margin(), model.margin_ps(f, v, InstrClass::Imul), 1e-9);
+    EXPECT_LT(b.t_src, b.t_prop) << "clock->Q is the smaller share";
+}
+
+TEST(TimingModel, PathFactorsOrdered) {
+    EXPECT_EQ(path_factor(InstrClass::Imul), 1.0);
+    double prev = 2.0;
+    for (const InstrClass c : kAllInstrClasses) {
+        EXPECT_GT(path_factor(c), 0.0);
+        EXPECT_LE(path_factor(c), 1.0);
+        EXPECT_LT(path_factor(c), prev) << to_string(c);
+        prev = path_factor(c);
+    }
+}
+
+TEST(TimingModel, RejectsBadParams) {
+    TimingParams p = params();
+    p.alpha = 0.5;
+    EXPECT_THROW(TimingModel{p}, ConfigError);
+    p = params();
+    p.threshold_voltage = Millivolts{-1.0};
+    EXPECT_THROW(TimingModel{p}, ConfigError);
+    p = params();
+    p.path_constant_ps = 0.0;
+    EXPECT_THROW(TimingModel{p}, ConfigError);
+    p = params();
+    p.sigma_fraction = 0.0;
+    EXPECT_THROW(TimingModel{p}, ConfigError);
+    p = params();
+    p.crash_path_factor = 1.5;
+    EXPECT_THROW(TimingModel{p}, ConfigError);
+}
+
+}  // namespace
+}  // namespace pv::sim

@@ -1,0 +1,71 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pv {
+namespace {
+
+TEST(Units, MillivoltArithmetic) {
+    const Millivolts a{150.0};
+    const Millivolts b{-50.0};
+    EXPECT_DOUBLE_EQ((a + b).value(), 100.0);
+    EXPECT_DOUBLE_EQ((a - b).value(), 200.0);
+    EXPECT_DOUBLE_EQ((-a).value(), -150.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 300.0);
+    EXPECT_DOUBLE_EQ((2.0 * a).value(), 300.0);
+    EXPECT_DOUBLE_EQ(a / b, -3.0);
+    EXPECT_LT(b, a);
+}
+
+TEST(Units, VoltConversions) {
+    EXPECT_DOUBLE_EQ(Millivolts{1250.0}.volts(), 1.25);
+    EXPECT_DOUBLE_EQ(from_volts(0.9).value(), 900.0);
+}
+
+TEST(Units, MegahertzPeriod) {
+    EXPECT_DOUBLE_EQ(from_ghz(1.0).period_ps(), 1000.0);
+    EXPECT_DOUBLE_EQ(from_ghz(4.0).period_ps(), 250.0);
+    EXPECT_DOUBLE_EQ(Megahertz{2500.0}.gigahertz(), 2.5);
+}
+
+TEST(Units, PicosecondScales) {
+    const Picoseconds t = milliseconds(1.5);
+    EXPECT_EQ(t.value(), 1'500'000'000);
+    EXPECT_DOUBLE_EQ(t.microseconds(), 1500.0);
+    EXPECT_DOUBLE_EQ(t.milliseconds(), 1.5);
+    EXPECT_DOUBLE_EQ(microseconds(2.0).nanoseconds(), 2000.0);
+    EXPECT_DOUBLE_EQ(nanoseconds(3.0).value(), 3000.0);
+    EXPECT_DOUBLE_EQ(milliseconds(2000.0).seconds(), 2.0);
+}
+
+TEST(Units, PicosecondArithmetic) {
+    Picoseconds t{100};
+    t += Picoseconds{50};
+    EXPECT_EQ(t.value(), 150);
+    t -= Picoseconds{200};
+    EXPECT_EQ(t.value(), -50);
+    EXPECT_EQ((Picoseconds{10} * 3).value(), 30);
+}
+
+TEST(Units, CyclesToTime) {
+    // 1000 cycles at 1 GHz is exactly 1 us.
+    EXPECT_EQ(Cycles{1000}.at(from_ghz(1.0)).value(), microseconds(1.0).value());
+    // 4900 cycles at 4.9 GHz is 1 us.
+    EXPECT_EQ(Cycles{4900}.at(from_ghz(4.9)).value(), 1'000'000);
+    Cycles c{5};
+    c += Cycles{7};
+    EXPECT_EQ(c.value(), 12);
+    EXPECT_EQ((Cycles{3} * 4).value(), 12);
+}
+
+TEST(Units, Streaming) {
+    std::ostringstream os;
+    os << Millivolts{-87.5} << " " << Megahertz{800.0} << " " << Picoseconds{42} << " "
+       << Cycles{7};
+    EXPECT_EQ(os.str(), "-87.5 mV 800 MHz 42 ps 7 cyc");
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,89 @@
+#include "sim/voltage_regulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pv::sim {
+namespace {
+
+RegulatorParams params() {
+    return RegulatorParams{.write_latency = microseconds(150.0), .slew_mv_per_us = 1.0};
+}
+
+TEST(VoltageRegulator, HoldsDuringCommandLatency) {
+    VoltageRegulator reg(params());
+    reg.write(VoltagePlane::Core, Millivolts{-100.0}, Picoseconds{0});
+    EXPECT_DOUBLE_EQ(reg.offset_at(VoltagePlane::Core, microseconds(100.0)).value(), 0.0);
+    EXPECT_DOUBLE_EQ(reg.offset_at(VoltagePlane::Core, microseconds(150.0)).value(), 0.0);
+}
+
+TEST(VoltageRegulator, LinearRampAfterLatency) {
+    VoltageRegulator reg(params());
+    reg.write(VoltagePlane::Core, Millivolts{-100.0}, Picoseconds{0});
+    EXPECT_NEAR(reg.offset_at(VoltagePlane::Core, microseconds(200.0)).value(), -50.0, 0.1);
+    EXPECT_NEAR(reg.offset_at(VoltagePlane::Core, microseconds(250.0)).value(), -100.0, 0.1);
+    EXPECT_NEAR(reg.offset_at(VoltagePlane::Core, microseconds(400.0)).value(), -100.0, 0.1);
+}
+
+TEST(VoltageRegulator, SettleTimeMatchesRampEnd) {
+    VoltageRegulator reg(params());
+    reg.write(VoltagePlane::Core, Millivolts{-100.0}, Picoseconds{0});
+    EXPECT_EQ(reg.settle_time(VoltagePlane::Core).value(), microseconds(250.0).value());
+}
+
+TEST(VoltageRegulator, MidRampRetargetStartsFromLiveValue) {
+    VoltageRegulator reg(params());
+    reg.write(VoltagePlane::Core, Millivolts{-200.0}, Picoseconds{0});
+    // At 200 us the rail is at -50 mV; retarget to 0 from there.
+    reg.write(VoltagePlane::Core, Millivolts{0.0}, microseconds(200.0));
+    EXPECT_NEAR(reg.offset_at(VoltagePlane::Core, microseconds(200.0)).value(), -50.0, 0.1);
+    // The old ramp is abandoned: during the new command's latency the rail
+    // holds (a simplification of real SVID pipelines, but monotone-safe).
+    EXPECT_NEAR(reg.offset_at(VoltagePlane::Core, microseconds(340.0)).value(), -50.0, 0.1);
+    EXPECT_NEAR(reg.offset_at(VoltagePlane::Core, microseconds(400.0)).value(), 0.0, 0.1);
+}
+
+TEST(VoltageRegulator, PlanesAreIndependent) {
+    VoltageRegulator reg(params());
+    reg.write(VoltagePlane::Core, Millivolts{-100.0}, Picoseconds{0});
+    reg.write(VoltagePlane::Cache, Millivolts{-40.0}, Picoseconds{0});
+    EXPECT_DOUBLE_EQ(reg.target(VoltagePlane::Core).value(), -100.0);
+    EXPECT_DOUBLE_EQ(reg.target(VoltagePlane::Cache).value(), -40.0);
+    EXPECT_DOUBLE_EQ(reg.target(VoltagePlane::Gpu).value(), 0.0);
+    EXPECT_NEAR(reg.offset_at(VoltagePlane::Cache, microseconds(250.0)).value(), -40.0, 0.1);
+}
+
+TEST(VoltageRegulator, ForcePinsImmediately) {
+    VoltageRegulator reg(params());
+    reg.force(VoltagePlane::Core, Millivolts{700.0});
+    EXPECT_DOUBLE_EQ(reg.offset_at(VoltagePlane::Core, Picoseconds{0}).value(), 700.0);
+    EXPECT_DOUBLE_EQ(reg.target(VoltagePlane::Core).value(), 700.0);
+    EXPECT_LE(reg.settle_time(VoltagePlane::Core).value(), 0);
+}
+
+TEST(VoltageRegulator, ResetZeroesAllPlanes) {
+    VoltageRegulator reg(params());
+    reg.write(VoltagePlane::Core, Millivolts{-100.0}, Picoseconds{0});
+    reg.reset();
+    EXPECT_DOUBLE_EQ(reg.offset_at(VoltagePlane::Core, microseconds(500.0)).value(), 0.0);
+}
+
+TEST(VoltageRegulator, RejectsBadParams) {
+    EXPECT_THROW(VoltageRegulator({.write_latency = microseconds(1.0), .slew_mv_per_us = 0.0}),
+                 ConfigError);
+    EXPECT_THROW(
+        VoltageRegulator({.write_latency = microseconds(-1.0), .slew_mv_per_us = 1.0}),
+        ConfigError);
+}
+
+TEST(VoltageRegulator, UpwardRampSymmetric) {
+    VoltageRegulator reg(params());
+    reg.force(VoltagePlane::Core, Millivolts{-200.0});
+    reg.write(VoltagePlane::Core, Millivolts{-100.0}, Picoseconds{0});
+    EXPECT_NEAR(reg.offset_at(VoltagePlane::Core, microseconds(200.0)).value(), -150.0, 0.1);
+    EXPECT_NEAR(reg.offset_at(VoltagePlane::Core, microseconds(250.0)).value(), -100.0, 0.1);
+}
+
+}  // namespace
+}  // namespace pv::sim
