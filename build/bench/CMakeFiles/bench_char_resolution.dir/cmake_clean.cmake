@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_char_resolution.dir/bench_char_resolution.cpp.o"
+  "CMakeFiles/bench_char_resolution.dir/bench_char_resolution.cpp.o.d"
+  "bench_char_resolution"
+  "bench_char_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_char_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_skylake.dir/bench_fig2_skylake.cpp.o"
+  "CMakeFiles/bench_fig2_skylake.dir/bench_fig2_skylake.cpp.o.d"
+  "bench_fig2_skylake"
+  "bench_fig2_skylake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_skylake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_kabylaker.dir/bench_fig3_kabylaker.cpp.o"
+  "CMakeFiles/bench_fig3_kabylaker.dir/bench_fig3_kabylaker.cpp.o.d"
+  "bench_fig3_kabylaker"
+  "bench_fig3_kabylaker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_kabylaker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

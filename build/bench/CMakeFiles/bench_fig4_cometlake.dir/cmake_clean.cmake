@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cometlake.dir/bench_fig4_cometlake.cpp.o"
+  "CMakeFiles/bench_fig4_cometlake.dir/bench_fig4_cometlake.cpp.o.d"
+  "bench_fig4_cometlake"
+  "bench_fig4_cometlake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cometlake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

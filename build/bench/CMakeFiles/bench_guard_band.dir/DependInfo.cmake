@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_guard_band.cpp" "bench/CMakeFiles/bench_guard_band.dir/bench_guard_band.cpp.o" "gcc" "bench/CMakeFiles/bench_guard_band.dir/bench_guard_band.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/pv_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/defenses/CMakeFiles/pv_defenses.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugvolt/CMakeFiles/pv_plugvolt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/pv_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/pv_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guard_band.dir/bench_guard_band.cpp.o"
+  "CMakeFiles/bench_guard_band.dir/bench_guard_band.cpp.o.d"
+  "bench_guard_band"
+  "bench_guard_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guard_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

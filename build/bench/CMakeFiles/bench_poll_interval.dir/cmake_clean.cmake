@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_poll_interval.dir/bench_poll_interval.cpp.o"
+  "CMakeFiles/bench_poll_interval.dir/bench_poll_interval.cpp.o.d"
+  "bench_poll_interval"
+  "bench_poll_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_poll_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

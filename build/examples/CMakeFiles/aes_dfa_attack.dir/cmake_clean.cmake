@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_dfa_attack.dir/aes_dfa_attack.cpp.o"
+  "CMakeFiles/aes_dfa_attack.dir/aes_dfa_attack.cpp.o.d"
+  "aes_dfa_attack"
+  "aes_dfa_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_dfa_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benign_overclocker.dir/benign_overclocker.cpp.o"
+  "CMakeFiles/benign_overclocker.dir/benign_overclocker.cpp.o.d"
+  "benign_overclocker"
+  "benign_overclocker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benign_overclocker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_and_protect.dir/characterize_and_protect.cpp.o"
+  "CMakeFiles/characterize_and_protect.dir/characterize_and_protect.cpp.o.d"
+  "characterize_and_protect"
+  "characterize_and_protect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_and_protect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

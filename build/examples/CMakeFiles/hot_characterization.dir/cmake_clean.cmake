@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_characterization.dir/hot_characterization.cpp.o"
+  "CMakeFiles/hot_characterization.dir/hot_characterization.cpp.o.d"
+  "hot_characterization"
+  "hot_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

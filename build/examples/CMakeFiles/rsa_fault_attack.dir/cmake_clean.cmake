@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsa_fault_attack.dir/rsa_fault_attack.cpp.o"
+  "CMakeFiles/rsa_fault_attack.dir/rsa_fault_attack.cpp.o.d"
+  "rsa_fault_attack"
+  "rsa_fault_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsa_fault_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/plundervolt.cpp" "src/attacks/CMakeFiles/pv_attacks.dir/plundervolt.cpp.o" "gcc" "src/attacks/CMakeFiles/pv_attacks.dir/plundervolt.cpp.o.d"
+  "/root/repo/src/attacks/v0ltpwn.cpp" "src/attacks/CMakeFiles/pv_attacks.dir/v0ltpwn.cpp.o" "gcc" "src/attacks/CMakeFiles/pv_attacks.dir/v0ltpwn.cpp.o.d"
+  "/root/repo/src/attacks/voltjockey.cpp" "src/attacks/CMakeFiles/pv_attacks.dir/voltjockey.cpp.o" "gcc" "src/attacks/CMakeFiles/pv_attacks.dir/voltjockey.cpp.o.d"
+  "/root/repo/src/attacks/voltpillager.cpp" "src/attacks/CMakeFiles/pv_attacks.dir/voltpillager.cpp.o" "gcc" "src/attacks/CMakeFiles/pv_attacks.dir/voltpillager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/pv_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/pv_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugvolt/CMakeFiles/pv_plugvolt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

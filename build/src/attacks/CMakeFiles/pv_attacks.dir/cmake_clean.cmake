@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_attacks.dir/plundervolt.cpp.o"
+  "CMakeFiles/pv_attacks.dir/plundervolt.cpp.o.d"
+  "CMakeFiles/pv_attacks.dir/v0ltpwn.cpp.o"
+  "CMakeFiles/pv_attacks.dir/v0ltpwn.cpp.o.d"
+  "CMakeFiles/pv_attacks.dir/voltjockey.cpp.o"
+  "CMakeFiles/pv_attacks.dir/voltjockey.cpp.o.d"
+  "CMakeFiles/pv_attacks.dir/voltpillager.cpp.o"
+  "CMakeFiles/pv_attacks.dir/voltpillager.cpp.o.d"
+  "libpv_attacks.a"
+  "libpv_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defenses/access_control.cpp" "src/defenses/CMakeFiles/pv_defenses.dir/access_control.cpp.o" "gcc" "src/defenses/CMakeFiles/pv_defenses.dir/access_control.cpp.o.d"
+  "/root/repo/src/defenses/minefield.cpp" "src/defenses/CMakeFiles/pv_defenses.dir/minefield.cpp.o" "gcc" "src/defenses/CMakeFiles/pv_defenses.dir/minefield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sgx/CMakeFiles/pv_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/pv_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

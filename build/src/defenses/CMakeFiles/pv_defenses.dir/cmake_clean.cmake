@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_defenses.dir/access_control.cpp.o"
+  "CMakeFiles/pv_defenses.dir/access_control.cpp.o.d"
+  "CMakeFiles/pv_defenses.dir/minefield.cpp.o"
+  "CMakeFiles/pv_defenses.dir/minefield.cpp.o.d"
+  "libpv_defenses.a"
+  "libpv_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpv_defenses.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/cpufreq.cpp" "src/os/CMakeFiles/pv_os.dir/cpufreq.cpp.o" "gcc" "src/os/CMakeFiles/pv_os.dir/cpufreq.cpp.o.d"
+  "/root/repo/src/os/cpupower.cpp" "src/os/CMakeFiles/pv_os.dir/cpupower.cpp.o" "gcc" "src/os/CMakeFiles/pv_os.dir/cpupower.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/pv_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/pv_os.dir/kernel.cpp.o.d"
+  "/root/repo/src/os/msr_driver.cpp" "src/os/CMakeFiles/pv_os.dir/msr_driver.cpp.o" "gcc" "src/os/CMakeFiles/pv_os.dir/msr_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

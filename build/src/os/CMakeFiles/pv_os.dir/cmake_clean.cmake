@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_os.dir/cpufreq.cpp.o"
+  "CMakeFiles/pv_os.dir/cpufreq.cpp.o.d"
+  "CMakeFiles/pv_os.dir/cpupower.cpp.o"
+  "CMakeFiles/pv_os.dir/cpupower.cpp.o.d"
+  "CMakeFiles/pv_os.dir/kernel.cpp.o"
+  "CMakeFiles/pv_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/pv_os.dir/msr_driver.cpp.o"
+  "CMakeFiles/pv_os.dir/msr_driver.cpp.o.d"
+  "libpv_os.a"
+  "libpv_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plugvolt/characterizer.cpp" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/characterizer.cpp.o" "gcc" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/characterizer.cpp.o.d"
+  "/root/repo/src/plugvolt/microcode_guard.cpp" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/microcode_guard.cpp.o" "gcc" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/microcode_guard.cpp.o.d"
+  "/root/repo/src/plugvolt/msr_clamp.cpp" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/msr_clamp.cpp.o" "gcc" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/msr_clamp.cpp.o.d"
+  "/root/repo/src/plugvolt/plugvolt.cpp" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/plugvolt.cpp.o" "gcc" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/plugvolt.cpp.o.d"
+  "/root/repo/src/plugvolt/polling_module.cpp" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/polling_module.cpp.o" "gcc" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/polling_module.cpp.o.d"
+  "/root/repo/src/plugvolt/safe_state.cpp" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/safe_state.cpp.o" "gcc" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/safe_state.cpp.o.d"
+  "/root/repo/src/plugvolt/turnaround.cpp" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/turnaround.cpp.o" "gcc" "src/plugvolt/CMakeFiles/pv_plugvolt.dir/turnaround.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/pv_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_plugvolt.dir/characterizer.cpp.o"
+  "CMakeFiles/pv_plugvolt.dir/characterizer.cpp.o.d"
+  "CMakeFiles/pv_plugvolt.dir/microcode_guard.cpp.o"
+  "CMakeFiles/pv_plugvolt.dir/microcode_guard.cpp.o.d"
+  "CMakeFiles/pv_plugvolt.dir/msr_clamp.cpp.o"
+  "CMakeFiles/pv_plugvolt.dir/msr_clamp.cpp.o.d"
+  "CMakeFiles/pv_plugvolt.dir/plugvolt.cpp.o"
+  "CMakeFiles/pv_plugvolt.dir/plugvolt.cpp.o.d"
+  "CMakeFiles/pv_plugvolt.dir/polling_module.cpp.o"
+  "CMakeFiles/pv_plugvolt.dir/polling_module.cpp.o.d"
+  "CMakeFiles/pv_plugvolt.dir/safe_state.cpp.o"
+  "CMakeFiles/pv_plugvolt.dir/safe_state.cpp.o.d"
+  "CMakeFiles/pv_plugvolt.dir/turnaround.cpp.o"
+  "CMakeFiles/pv_plugvolt.dir/turnaround.cpp.o.d"
+  "libpv_plugvolt.a"
+  "libpv_plugvolt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_plugvolt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/attestation.cpp" "src/sgx/CMakeFiles/pv_sgx.dir/attestation.cpp.o" "gcc" "src/sgx/CMakeFiles/pv_sgx.dir/attestation.cpp.o.d"
+  "/root/repo/src/sgx/enclave.cpp" "src/sgx/CMakeFiles/pv_sgx.dir/enclave.cpp.o" "gcc" "src/sgx/CMakeFiles/pv_sgx.dir/enclave.cpp.o.d"
+  "/root/repo/src/sgx/program.cpp" "src/sgx/CMakeFiles/pv_sgx.dir/program.cpp.o" "gcc" "src/sgx/CMakeFiles/pv_sgx.dir/program.cpp.o.d"
+  "/root/repo/src/sgx/runtime.cpp" "src/sgx/CMakeFiles/pv_sgx.dir/runtime.cpp.o" "gcc" "src/sgx/CMakeFiles/pv_sgx.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/pv_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_sgx.dir/attestation.cpp.o"
+  "CMakeFiles/pv_sgx.dir/attestation.cpp.o.d"
+  "CMakeFiles/pv_sgx.dir/enclave.cpp.o"
+  "CMakeFiles/pv_sgx.dir/enclave.cpp.o.d"
+  "CMakeFiles/pv_sgx.dir/program.cpp.o"
+  "CMakeFiles/pv_sgx.dir/program.cpp.o.d"
+  "CMakeFiles/pv_sgx.dir/runtime.cpp.o"
+  "CMakeFiles/pv_sgx.dir/runtime.cpp.o.d"
+  "libpv_sgx.a"
+  "libpv_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/pv_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/pv_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/cpu_profile.cpp" "src/sim/CMakeFiles/pv_sim.dir/cpu_profile.cpp.o" "gcc" "src/sim/CMakeFiles/pv_sim.dir/cpu_profile.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/pv_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/pv_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fault_model.cpp" "src/sim/CMakeFiles/pv_sim.dir/fault_model.cpp.o" "gcc" "src/sim/CMakeFiles/pv_sim.dir/fault_model.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/pv_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/pv_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/ocm.cpp" "src/sim/CMakeFiles/pv_sim.dir/ocm.cpp.o" "gcc" "src/sim/CMakeFiles/pv_sim.dir/ocm.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "src/sim/CMakeFiles/pv_sim.dir/power.cpp.o" "gcc" "src/sim/CMakeFiles/pv_sim.dir/power.cpp.o.d"
+  "/root/repo/src/sim/thermal.cpp" "src/sim/CMakeFiles/pv_sim.dir/thermal.cpp.o" "gcc" "src/sim/CMakeFiles/pv_sim.dir/thermal.cpp.o.d"
+  "/root/repo/src/sim/timing_model.cpp" "src/sim/CMakeFiles/pv_sim.dir/timing_model.cpp.o" "gcc" "src/sim/CMakeFiles/pv_sim.dir/timing_model.cpp.o.d"
+  "/root/repo/src/sim/vf_curve.cpp" "src/sim/CMakeFiles/pv_sim.dir/vf_curve.cpp.o" "gcc" "src/sim/CMakeFiles/pv_sim.dir/vf_curve.cpp.o.d"
+  "/root/repo/src/sim/voltage_regulator.cpp" "src/sim/CMakeFiles/pv_sim.dir/voltage_regulator.cpp.o" "gcc" "src/sim/CMakeFiles/pv_sim.dir/voltage_regulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_sim.dir/core.cpp.o"
+  "CMakeFiles/pv_sim.dir/core.cpp.o.d"
+  "CMakeFiles/pv_sim.dir/cpu_profile.cpp.o"
+  "CMakeFiles/pv_sim.dir/cpu_profile.cpp.o.d"
+  "CMakeFiles/pv_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pv_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pv_sim.dir/fault_model.cpp.o"
+  "CMakeFiles/pv_sim.dir/fault_model.cpp.o.d"
+  "CMakeFiles/pv_sim.dir/machine.cpp.o"
+  "CMakeFiles/pv_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/pv_sim.dir/ocm.cpp.o"
+  "CMakeFiles/pv_sim.dir/ocm.cpp.o.d"
+  "CMakeFiles/pv_sim.dir/power.cpp.o"
+  "CMakeFiles/pv_sim.dir/power.cpp.o.d"
+  "CMakeFiles/pv_sim.dir/thermal.cpp.o"
+  "CMakeFiles/pv_sim.dir/thermal.cpp.o.d"
+  "CMakeFiles/pv_sim.dir/timing_model.cpp.o"
+  "CMakeFiles/pv_sim.dir/timing_model.cpp.o.d"
+  "CMakeFiles/pv_sim.dir/vf_curve.cpp.o"
+  "CMakeFiles/pv_sim.dir/vf_curve.cpp.o.d"
+  "CMakeFiles/pv_sim.dir/voltage_regulator.cpp.o"
+  "CMakeFiles/pv_sim.dir/voltage_regulator.cpp.o.d"
+  "libpv_sim.a"
+  "libpv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_util.dir/csv.cpp.o"
+  "CMakeFiles/pv_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pv_util.dir/log.cpp.o"
+  "CMakeFiles/pv_util.dir/log.cpp.o.d"
+  "CMakeFiles/pv_util.dir/rng.cpp.o"
+  "CMakeFiles/pv_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pv_util.dir/stats.cpp.o"
+  "CMakeFiles/pv_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pv_util.dir/table.cpp.o"
+  "CMakeFiles/pv_util.dir/table.cpp.o.d"
+  "CMakeFiles/pv_util.dir/units.cpp.o"
+  "CMakeFiles/pv_util.dir/units.cpp.o.d"
+  "libpv_util.a"
+  "libpv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/crypto/aes.cpp" "src/workload/CMakeFiles/pv_workload.dir/crypto/aes.cpp.o" "gcc" "src/workload/CMakeFiles/pv_workload.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/workload/crypto/aes_dfa.cpp" "src/workload/CMakeFiles/pv_workload.dir/crypto/aes_dfa.cpp.o" "gcc" "src/workload/CMakeFiles/pv_workload.dir/crypto/aes_dfa.cpp.o.d"
+  "/root/repo/src/workload/crypto/bignum.cpp" "src/workload/CMakeFiles/pv_workload.dir/crypto/bignum.cpp.o" "gcc" "src/workload/CMakeFiles/pv_workload.dir/crypto/bignum.cpp.o.d"
+  "/root/repo/src/workload/crypto/rsa_crt.cpp" "src/workload/CMakeFiles/pv_workload.dir/crypto/rsa_crt.cpp.o" "gcc" "src/workload/CMakeFiles/pv_workload.dir/crypto/rsa_crt.cpp.o.d"
+  "/root/repo/src/workload/spec_fp.cpp" "src/workload/CMakeFiles/pv_workload.dir/spec_fp.cpp.o" "gcc" "src/workload/CMakeFiles/pv_workload.dir/spec_fp.cpp.o.d"
+  "/root/repo/src/workload/spec_int.cpp" "src/workload/CMakeFiles/pv_workload.dir/spec_int.cpp.o" "gcc" "src/workload/CMakeFiles/pv_workload.dir/spec_int.cpp.o.d"
+  "/root/repo/src/workload/spec_suite.cpp" "src/workload/CMakeFiles/pv_workload.dir/spec_suite.cpp.o" "gcc" "src/workload/CMakeFiles/pv_workload.dir/spec_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugvolt/CMakeFiles/pv_plugvolt.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/pv_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_workload.dir/crypto/aes.cpp.o"
+  "CMakeFiles/pv_workload.dir/crypto/aes.cpp.o.d"
+  "CMakeFiles/pv_workload.dir/crypto/aes_dfa.cpp.o"
+  "CMakeFiles/pv_workload.dir/crypto/aes_dfa.cpp.o.d"
+  "CMakeFiles/pv_workload.dir/crypto/bignum.cpp.o"
+  "CMakeFiles/pv_workload.dir/crypto/bignum.cpp.o.d"
+  "CMakeFiles/pv_workload.dir/crypto/rsa_crt.cpp.o"
+  "CMakeFiles/pv_workload.dir/crypto/rsa_crt.cpp.o.d"
+  "CMakeFiles/pv_workload.dir/spec_fp.cpp.o"
+  "CMakeFiles/pv_workload.dir/spec_fp.cpp.o.d"
+  "CMakeFiles/pv_workload.dir/spec_int.cpp.o"
+  "CMakeFiles/pv_workload.dir/spec_int.cpp.o.d"
+  "CMakeFiles/pv_workload.dir/spec_suite.cpp.o"
+  "CMakeFiles/pv_workload.dir/spec_suite.cpp.o.d"
+  "libpv_workload.a"
+  "libpv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

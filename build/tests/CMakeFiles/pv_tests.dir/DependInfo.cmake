@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aes_dfa.cpp" "tests/CMakeFiles/pv_tests.dir/test_aes_dfa.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_aes_dfa.cpp.o.d"
+  "/root/repo/tests/test_attacks.cpp" "tests/CMakeFiles/pv_tests.dir/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_attacks.cpp.o.d"
+  "/root/repo/tests/test_cache_plane.cpp" "tests/CMakeFiles/pv_tests.dir/test_cache_plane.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_cache_plane.cpp.o.d"
+  "/root/repo/tests/test_characterizer.cpp" "tests/CMakeFiles/pv_tests.dir/test_characterizer.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_characterizer.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "tests/CMakeFiles/pv_tests.dir/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_cstates.cpp" "tests/CMakeFiles/pv_tests.dir/test_cstates.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_cstates.cpp.o.d"
+  "/root/repo/tests/test_csv_table.cpp" "tests/CMakeFiles/pv_tests.dir/test_csv_table.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_csv_table.cpp.o.d"
+  "/root/repo/tests/test_defenses.cpp" "tests/CMakeFiles/pv_tests.dir/test_defenses.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_defenses.cpp.o.d"
+  "/root/repo/tests/test_deployments.cpp" "tests/CMakeFiles/pv_tests.dir/test_deployments.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_deployments.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/pv_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_fault_model.cpp" "tests/CMakeFiles/pv_tests.dir/test_fault_model.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_fault_model.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/pv_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/pv_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_ocm.cpp" "tests/CMakeFiles/pv_tests.dir/test_ocm.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_ocm.cpp.o.d"
+  "/root/repo/tests/test_os_kernel.cpp" "tests/CMakeFiles/pv_tests.dir/test_os_kernel.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_os_kernel.cpp.o.d"
+  "/root/repo/tests/test_polling_module.cpp" "tests/CMakeFiles/pv_tests.dir/test_polling_module.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_polling_module.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/pv_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_profiles.cpp" "tests/CMakeFiles/pv_tests.dir/test_profiles.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_profiles.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/pv_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_safe_state.cpp" "tests/CMakeFiles/pv_tests.dir/test_safe_state.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_safe_state.cpp.o.d"
+  "/root/repo/tests/test_sgx.cpp" "tests/CMakeFiles/pv_tests.dir/test_sgx.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_sgx.cpp.o.d"
+  "/root/repo/tests/test_soak.cpp" "tests/CMakeFiles/pv_tests.dir/test_soak.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_soak.cpp.o.d"
+  "/root/repo/tests/test_spec_suite.cpp" "tests/CMakeFiles/pv_tests.dir/test_spec_suite.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_spec_suite.cpp.o.d"
+  "/root/repo/tests/test_spec_workloads.cpp" "tests/CMakeFiles/pv_tests.dir/test_spec_workloads.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_spec_workloads.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/pv_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_thermal.cpp" "tests/CMakeFiles/pv_tests.dir/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_thermal.cpp.o.d"
+  "/root/repo/tests/test_timing_model.cpp" "tests/CMakeFiles/pv_tests.dir/test_timing_model.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_timing_model.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/pv_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_voltage_regulator.cpp" "tests/CMakeFiles/pv_tests.dir/test_voltage_regulator.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_voltage_regulator.cpp.o.d"
+  "/root/repo/tests/test_voltpillager.cpp" "tests/CMakeFiles/pv_tests.dir/test_voltpillager.cpp.o" "gcc" "tests/CMakeFiles/pv_tests.dir/test_voltpillager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/pv_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/defenses/CMakeFiles/pv_defenses.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugvolt/CMakeFiles/pv_plugvolt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/pv_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/pv_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
