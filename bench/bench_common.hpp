@@ -1,8 +1,11 @@
 // Shared helpers for the reproduction benches.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "os/kernel.hpp"
 #include "plugvolt/characterizer.hpp"
@@ -11,6 +14,53 @@
 #include "util/table.hpp"
 
 namespace pv::bench {
+
+/// Wall-clock stopwatch for measuring real (not simulated) sweep cost.
+class Stopwatch {
+public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    [[nodiscard]] double elapsed_ms() const {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// One machine-readable result line of a bench: what ran, how long it
+/// took, how much work it did, and its speedup against the bench's
+/// declared baseline.  Written to BENCH_<bench>.json so the perf
+/// trajectory is diffable across PRs.
+struct BenchRecord {
+    std::string name;
+    double wall_ms = 0.0;
+    std::uint64_t cells = 0;   ///< work units evaluated (0 if not applicable)
+    double speedup = 1.0;      ///< vs the bench's serial/reference variant
+};
+
+/// Emit `BENCH_<bench>.json` in the working directory (overwriting), a
+/// single JSON object: {"bench": ..., "records": [...]}.  Returns the
+/// path written.
+inline std::string write_bench_json(const std::string& bench,
+                                    const std::vector<BenchRecord>& records) {
+    const std::string path = "BENCH_" + bench + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << bench << "\",\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const BenchRecord& r = records[i];
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "    {\"name\": \"%s\", \"wall_ms\": %.3f, \"cells\": %llu, "
+                      "\"speedup\": %.3f}%s\n",
+                      r.name.c_str(), r.wall_ms, static_cast<unsigned long long>(r.cells),
+                      r.speedup, i + 1 < records.size() ? "," : "");
+        out << line;
+    }
+    out << "  ]\n}\n";
+    return path;
+}
 
 /// Run the paper's Algorithm 2 sweep on `profile` at the given offset
 /// resolution (the paper uses 1 mV).

@@ -9,8 +9,10 @@
 #include <fstream>
 #include <string>
 
+#include "plugvolt/parallel_characterizer.hpp"
 #include "plugvolt/plugvolt.hpp"
 #include "sim/ocm.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace pv;
 
@@ -28,12 +30,17 @@ int main(int argc, char** argv) {
     }
     const std::string out_path = argc > 2 ? argv[2] : "safe_state_map.csv";
 
-    std::printf("characterizing %s (%s) at 1 mV / 0.1 GHz resolution...\n",
-                profile.name.c_str(), profile.codename.c_str());
-    sim::Machine machine(profile, 0xC0DE);
-    os::Kernel kernel(machine);
-    const plugvolt::CharacterizerConfig sweep{};  // paper defaults: 1 mV, 10^6 imul
-    plugvolt::Characterizer characterizer(kernel, sweep);
+    // The sharded sweep engine: frequency rows fan out across a worker
+    // pool and each row bisects its onset/crash boundaries — same map as
+    // the serial exhaustive sweep, a fraction of the wall-clock.
+    plugvolt::ParallelCharacterizerConfig sweep;  // paper defaults: 1 mV, 10^6 imul
+    sweep.seed = 0xC0DE;
+    std::printf("characterizing %s (%s) at 1 mV / 0.1 GHz resolution "
+                "(%s mode, %u workers)...\n",
+                profile.name.c_str(), profile.codename.c_str(),
+                plugvolt::to_string(sweep.mode),
+                sweep.workers ? sweep.workers : ThreadPool::default_worker_count());
+    plugvolt::ParallelCharacterizer characterizer(profile, sweep);
     unsigned columns = 0;
     const plugvolt::SafeStateMap map =
         characterizer.characterize([&](const plugvolt::FreqCharacterization& row) {
@@ -41,10 +48,12 @@ int main(int argc, char** argv) {
             if (!row.fault_free)
                 std::printf("  %4.1f GHz: onset %.0f mV, crash %s\n", row.freq.gigahertz(),
                             row.onset.value(),
-                            row.crash >= sweep.sweep_floor ? "reached" : "beyond sweep");
+                            row.crash >= sweep.cell.sweep_floor ? "reached" : "beyond sweep");
         });
-    std::printf("%u columns characterized, %u crash-reboots\n", columns,
-                characterizer.crash_count());
+    std::printf("%u columns characterized, %llu cells probed, %llu crash-reboots\n",
+                columns,
+                static_cast<unsigned long long>(characterizer.stats().cells_evaluated),
+                static_cast<unsigned long long>(characterizer.stats().crash_probes));
     std::printf("maximal safe state: %.0f mV\n\n", map.maximal_safe_offset().value());
 
     std::ofstream(out_path) << map.to_csv();

@@ -82,4 +82,15 @@ std::vector<std::string> Kernel::lsmod() const {
     return names;
 }
 
+WorkerContext Kernel::fork_context(std::uint64_t seed) const {
+    return make_worker_context(machine_.profile(), seed);
+}
+
+WorkerContext make_worker_context(const sim::CpuProfile& profile, std::uint64_t seed) {
+    WorkerContext ctx;
+    ctx.machine = std::make_unique<sim::Machine>(profile, seed);
+    ctx.kernel = std::make_unique<Kernel>(*ctx.machine);
+    return ctx;
+}
+
 }  // namespace pv::os

@@ -80,6 +80,10 @@ public:
     /// Names of loaded modules, in load order (lsmod).
     [[nodiscard]] std::vector<std::string> lsmod() const;
 
+    /// Build a self-contained Machine+Kernel pair for this kernel's
+    /// profile (see make_worker_context).
+    [[nodiscard]] struct WorkerContext fork_context(std::uint64_t seed) const;
+
 private:
     struct Kthread {
         KthreadOptions options;
@@ -97,5 +101,20 @@ private:
     KthreadId next_id_ = 1;
     std::vector<std::shared_ptr<KernelModule>> modules_;
 };
+
+/// A self-contained simulated machine with its OS, for drivers that run
+/// many independent simulator instances (one per characterization
+/// worker).  Machine is pinned in memory (scheduled events capture its
+/// address), hence the unique_ptrs; the context as a whole is movable.
+struct WorkerContext {
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<Kernel> kernel;
+};
+
+/// Factory for worker contexts: a fresh Machine(profile, seed) hosting a
+/// fresh Kernel.  Every worker of a parallel sweep gets its own context,
+/// so no simulator state is ever shared across threads.
+[[nodiscard]] WorkerContext make_worker_context(const sim::CpuProfile& profile,
+                                                std::uint64_t seed);
 
 }  // namespace pv::os

@@ -61,45 +61,55 @@ CellResult Characterizer::test_cell(Megahertz f, Millivolts offset) {
     return {batch.faults, m.crashed()};
 }
 
+std::uint64_t Characterizer::sweep_steps() const {
+    return static_cast<std::uint64_t>(
+        std::floor(-config_.sweep_floor.value() / config_.offset_step.value()));
+}
+
+Millivolts Characterizer::offset_at_step(std::uint64_t s) const {
+    return Millivolts{-static_cast<double>(s) * config_.offset_step.value()};
+}
+
+FreqCharacterization Characterizer::characterize_row(Megahertz f) {
+    sim::Machine& m = kernel_.machine();
+    FreqCharacterization row{
+        .freq = f,
+        .onset = Millivolts{0.0},
+        .crash = no_crash_sentinel(),
+        .fault_free = true,
+    };
+    const std::uint64_t steps = sweep_steps();
+    for (std::uint64_t s = 1; s <= steps; ++s) {
+        const Millivolts offset = offset_at_step(s);
+        const CellResult cell = test_cell(f, offset);
+        if (cell.crashed) {
+            row.crash = offset;
+            if (row.fault_free) row.onset = offset;  // band narrower than the step
+            row.fault_free = false;
+            ++crash_count_;
+            m.reboot();
+            break;
+        }
+        if (cell.faults > 0 && row.fault_free) {
+            row.onset = offset;
+            row.fault_free = false;
+        }
+    }
+    log_debug("characterized f=", f.value(), " MHz onset=", row.onset.value(),
+              " crash=", row.crash.value(), " fault_free=", row.fault_free);
+    return row;
+}
+
 SafeStateMap Characterizer::characterize(
     const std::function<void(const FreqCharacterization&)>& progress) {
     sim::Machine& m = kernel_.machine();
     SafeStateMap map(m.profile().name, config_.sweep_floor);
     crash_count_ = 0;
 
-    const auto steps = static_cast<std::uint64_t>(
-        std::floor(-config_.sweep_floor.value() / config_.offset_step.value()));
-
     for (const Megahertz f : m.profile().frequency_table()) {
-        FreqCharacterization row{
-            .freq = f,
-            .onset = Millivolts{0.0},
-            // "no crash reached" sentinel: one step below the sweep floor
-            // so nothing inside the sweep classifies as Crash.
-            .crash = config_.sweep_floor - config_.offset_step,
-            .fault_free = true,
-        };
-        for (std::uint64_t s = 1; s <= steps; ++s) {
-            const Millivolts offset =
-                Millivolts{-static_cast<double>(s) * config_.offset_step.value()};
-            const CellResult cell = test_cell(f, offset);
-            if (cell.crashed) {
-                row.crash = offset;
-                if (row.fault_free) row.onset = offset;  // band narrower than the step
-                row.fault_free = false;
-                ++crash_count_;
-                m.reboot();
-                break;
-            }
-            if (cell.faults > 0 && row.fault_free) {
-                row.onset = offset;
-                row.fault_free = false;
-            }
-        }
+        FreqCharacterization row = characterize_row(f);
         map.add(row);
         if (progress) progress(row);
-        log_debug("characterized f=", f.value(), " MHz onset=", row.onset.value(),
-                  " crash=", row.crash.value(), " fault_free=", row.fault_free);
     }
 
     // Leave the machine at its boot frequency, nominal voltage.

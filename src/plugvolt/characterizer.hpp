@@ -55,6 +55,13 @@ public:
     /// the sweep driver's job, as on real hardware).
     [[nodiscard]] CellResult test_cell(Megahertz f, Millivolts offset);
 
+    /// One frequency column of the sweep: push the offset from one step
+    /// below nominal down toward the floor, classifying onset and crash
+    /// exactly like Algo. 2; reboots the machine if the column ends in a
+    /// crash.  This is the reusable unit the sharded parallel engine
+    /// dispatches per worker — rows are independent experiments.
+    [[nodiscard]] FreqCharacterization characterize_row(Megahertz f);
+
     /// Full sweep over the profile's frequency table, producing the
     /// safe-state map.  Reboots the machine after every crash cell.
     /// `progress` (optional) is called once per completed column.
@@ -63,6 +70,22 @@ public:
 
     /// Number of machine crashes (reboots) the last sweep caused.
     [[nodiscard]] unsigned crash_count() const { return crash_count_; }
+
+    /// Number of offset steps one full column visits (floor / step).
+    [[nodiscard]] std::uint64_t sweep_steps() const;
+
+    /// Offset commanded at 1-based step `s` (step 1 is one offset_step
+    /// below nominal; sweep_steps() is the floor).
+    [[nodiscard]] Millivolts offset_at_step(std::uint64_t s) const;
+
+    /// The `crash` field value for a column that never crashed: one step
+    /// below the sweep floor, so nothing inside the sweep classifies as
+    /// Crash.
+    [[nodiscard]] Millivolts no_crash_sentinel() const {
+        return config_.sweep_floor - config_.offset_step;
+    }
+
+    [[nodiscard]] const CharacterizerConfig& config() const { return config_; }
 
 private:
     os::Kernel& kernel_;

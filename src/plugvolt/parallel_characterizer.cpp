@@ -1,0 +1,229 @@
+#include "plugvolt/parallel_characterizer.hpp"
+
+#include <future>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "os/kernel.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pv::plugvolt {
+namespace {
+
+// splitmix64 finalizer: derives statistically independent child seeds
+// from (parent, index) pairs — the same construction Rng uses to expand
+// one seed into its state words.
+std::uint64_t mix_seed(std::uint64_t parent, std::uint64_t index) {
+    std::uint64_t z = parent + 0x9E3779B97F4A7C15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* to_string(SweepMode mode) {
+    switch (mode) {
+        case SweepMode::Exhaustive: return "exhaustive";
+        case SweepMode::Bisection: return "bisection";
+    }
+    return "?";
+}
+
+/// Per-worker simulator instance plus the per-row probe cache.  Owned by
+/// exactly one pool thread at a time; rows never share a Worker.
+class ParallelCharacterizer::Worker {
+public:
+    Worker(const sim::CpuProfile& profile, const CharacterizerConfig& cell_config,
+           std::uint64_t boot_seed)
+        : context_(os::make_worker_context(profile, boot_seed)),
+          characterizer_(*context_.kernel, cell_config) {}
+
+    /// Start a new frequency row: forget cached probes.
+    void begin_row(Megahertz f, std::uint64_t row_seed) {
+        freq_ = f;
+        row_seed_ = row_seed;
+        memo_.clear();
+        cells_ = 0;
+        crashes_ = 0;
+    }
+
+    /// Probe offset step `s` of the current row from a fresh boot with
+    /// the cell's derived seed; memoized, so bisection and refinement
+    /// never pay for (or re-randomize) a cell twice.
+    [[nodiscard]] const CellResult& probe(std::uint64_t s) {
+        const auto it = memo_.find(s);
+        if (it != memo_.end()) return it->second;
+        context_.machine->reset(mix_seed(row_seed_, s));
+        const CellResult cell =
+            characterizer_.test_cell(freq_, characterizer_.offset_at_step(s));
+        ++cells_;
+        if (cell.crashed) ++crashes_;
+        return memo_.emplace(s, cell).first->second;
+    }
+
+    [[nodiscard]] const Characterizer& characterizer() const { return characterizer_; }
+    [[nodiscard]] std::uint64_t cells() const { return cells_; }
+    [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+
+private:
+    os::WorkerContext context_;
+    Characterizer characterizer_;
+    Megahertz freq_{};
+    std::uint64_t row_seed_ = 0;
+    std::unordered_map<std::uint64_t, CellResult> memo_;
+    std::uint64_t cells_ = 0;
+    std::uint64_t crashes_ = 0;
+};
+
+ParallelCharacterizer::ParallelCharacterizer(sim::CpuProfile profile,
+                                             ParallelCharacterizerConfig config)
+    : profile_(std::move(profile)), config_(std::move(config)) {
+    if (config_.workers == 0) config_.workers = ThreadPool::default_worker_count();
+    if (config_.refine_window == 0)
+        throw ConfigError("refine_window must cover at least one step");
+    // Validate the cell protocol eagerly (same checks a Characterizer
+    // would apply) so misconfiguration surfaces here, not on a worker.
+    sim::Machine probe_machine(profile_, /*seed=*/0);
+    os::Kernel probe_kernel(probe_machine);
+    (void)Characterizer(probe_kernel, config_.cell);
+}
+
+ParallelCharacterizer::RowOutcome ParallelCharacterizer::characterize_row(
+    Worker& worker, Megahertz f, std::uint64_t row_seed) const {
+    worker.begin_row(f, row_seed);
+    const Characterizer& chr = worker.characterizer();
+    const std::uint64_t steps = chr.sweep_steps();
+
+    FreqCharacterization row{
+        .freq = f,
+        .onset = Millivolts{0.0},
+        .crash = chr.no_crash_sentinel(),
+        .fault_free = true,
+    };
+
+    if (config_.mode == SweepMode::Exhaustive) {
+        // The paper's scan, with per-cell boot-fresh state: walk deeper
+        // until faults appear, keep walking until the machine dies.
+        for (std::uint64_t s = 1; s <= steps; ++s) {
+            const CellResult& cell = worker.probe(s);
+            if (cell.crashed) {
+                row.crash = chr.offset_at_step(s);
+                if (row.fault_free) row.onset = row.crash;  // band narrower than the step
+                row.fault_free = false;
+                break;
+            }
+            if (cell.faults > 0 && row.fault_free) {
+                row.onset = chr.offset_at_step(s);
+                row.fault_free = false;
+            }
+        }
+        return RowOutcome{row, worker.cells(), worker.crashes()};
+    }
+
+    // --- Bisection mode -------------------------------------------------
+    // Crash boundary first: crashed(s) is a deterministic monotone
+    // predicate (would_crash is a timing threshold), and step 0 (nominal
+    // voltage) is crash-free by Machine's construction-time validation.
+    std::uint64_t s_crash = steps + 1;  // "no crash inside the sweep"
+    if (steps >= 1 && worker.probe(steps).crashed) {
+        std::uint64_t lo = 0, hi = steps;
+        while (hi - lo > 1) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            (worker.probe(mid).crashed ? hi : lo) = mid;
+        }
+        s_crash = hi;
+    }
+
+    // Fault onset inside the surviving range [1, s_crash - 1].  The
+    // deepest surviving cell is the most fault-prone; if even it shows
+    // no faults the whole column is fault-free (the band, if any, is
+    // narrower than one step and hides under the crash cell).
+    std::uint64_t s_onset = 0;  // 0 = no faulting cell found
+    const std::uint64_t limit = (s_crash <= steps ? s_crash - 1 : steps);
+    if (limit >= 1 && worker.probe(limit).faults > 0) {
+        std::uint64_t lo = 0, hi = limit;
+        while (hi - lo > 1) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            (worker.probe(mid).faults > 0 ? hi : lo) = mid;
+        }
+        s_onset = hi;
+        // Refinement: fault observation is stochastic cell-by-cell, so
+        // the crossing bisection found may not be the *shallowest*
+        // faulting cell.  Scan up to refine_window shallower cells; each
+        // hit restarts the window below it.  An exhaustive scan would
+        // report the shallowest faulting cell — with the window covering
+        // the observability band, so do we.
+        std::uint64_t s = s_onset;
+        while (s > 1) {
+            const std::uint64_t stop = s > config_.refine_window ? s - config_.refine_window : 1;
+            std::uint64_t found = 0;
+            for (std::uint64_t t = s - 1; t >= stop; --t) {
+                if (worker.probe(t).faults > 0) {
+                    found = t;
+                    break;
+                }
+                if (t == stop) break;
+            }
+            if (found == 0) break;
+            s = found;
+        }
+        s_onset = s;
+    }
+
+    if (s_crash <= steps) {
+        row.crash = chr.offset_at_step(s_crash);
+        row.fault_free = false;
+    }
+    if (s_onset != 0) {
+        row.onset = chr.offset_at_step(s_onset);
+        row.fault_free = false;
+    } else if (s_crash <= steps) {
+        row.onset = row.crash;  // faults and crash within one step
+    }
+    return RowOutcome{row, worker.cells(), worker.crashes()};
+}
+
+SafeStateMap ParallelCharacterizer::characterize(
+    const std::function<void(const FreqCharacterization&)>& progress) {
+    const std::vector<Megahertz> table = profile_.frequency_table();
+    stats_ = {};
+
+    // One simulator per worker thread, all from the same profile; the
+    // boot seed is irrelevant to results (every probe re-seeds) but kept
+    // distinct for hygiene.  Declared before the pool so that on any
+    // unwind the pool joins (draining queued rows) before a Worker dies.
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.reserve(config_.workers);
+    for (unsigned w = 0; w < config_.workers; ++w)
+        workers.push_back(std::make_unique<Worker>(profile_, config_.cell,
+                                                   mix_seed(config_.seed, 1'000'000 + w)));
+    ThreadPool pool(config_.workers);
+
+    std::vector<std::future<RowOutcome>> futures;
+    futures.reserve(table.size());
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        const Megahertz f = table[i];
+        const std::uint64_t row_seed = mix_seed(config_.seed, i);
+        futures.push_back(pool.submit([this, &workers, f, row_seed] {
+            const int w = ThreadPool::current_worker_index();
+            return characterize_row(*workers[static_cast<std::size_t>(w)], f, row_seed);
+        }));
+    }
+
+    SafeStateMap map(profile_.name, config_.cell.sweep_floor);
+    for (auto& future : futures) {
+        RowOutcome outcome = future.get();  // rethrows worker exceptions
+        stats_.cells_evaluated += outcome.cells;
+        stats_.crash_probes += outcome.crashes;
+        ++stats_.rows;
+        map.add(outcome.row);
+        if (progress) progress(outcome.row);
+    }
+    return map;
+}
+
+}  // namespace pv::plugvolt

@@ -1,0 +1,115 @@
+// PlugVolt — parallel sharded characterization engine.
+//
+// The Algorithm 2 sweep is embarrassingly parallel across frequency
+// rows: on real hardware the machine crash-reboots between columns
+// anyway, so no state an attacker or defender cares about flows from one
+// row to the next.  This engine shards rows across a ThreadPool, each
+// worker owning its own Machine/Kernel/Characterizer built from the same
+// CpuProfile, and reproduces the paper's per-cell protocol bit-for-bit
+// regardless of worker count or visit order.
+//
+// Determinism / seeding scheme
+// ----------------------------
+//   row_seed  = mix(sweep_seed, row_index)
+//   cell_seed = mix(row_seed, offset_step_index)
+// and every cell probe starts from Machine::reset(cell_seed): boot
+// state, cold die, fresh RNG.  A cell's outcome is therefore a pure
+// function of (profile, frequency, offset, sweep_seed) — independent of
+// which worker probes it, in which order, and of how many cells were
+// probed before it.  That is what makes the three execution strategies
+// (serial exhaustive, sharded exhaustive, sharded bisection) produce the
+// same SafeStateMap cell-for-cell.
+//
+// Bisection mode
+// --------------
+// The fault physics guarantee monotonicity in offset at a fixed
+// frequency: fault probability only grows as the offset deepens, and the
+// crash condition (FaultModel::would_crash) is a deterministic
+// threshold.  Exploit both:
+//   - the crash boundary is found by exact bisection (the predicate is
+//     deterministic and monotone), O(log steps) probes;
+//   - the fault-onset boundary is found by bisection on "any faults
+//     observed in 10^6 ops", then *refined* by scanning a small window
+//     of shallower cells: fault observation is a per-cell Bernoulli
+//     draw, so the observable boundary is fuzzy over the few steps where
+//     the expected fault count crosses ~1.  The window (refine_window)
+//     bounds that band; within it bisection+refinement lands on exactly
+//     the cell an exhaustive scan would report first.
+// Use Exhaustive mode to validate maps (it probes every cell up to the
+// crash boundary, exactly like the paper's sweep); use Bisection for the
+// production fast path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "plugvolt/characterizer.hpp"
+#include "plugvolt/safe_state.hpp"
+#include "sim/cpu_profile.hpp"
+
+namespace pv::plugvolt {
+
+/// How each frequency row locates its onset and crash boundaries.
+enum class SweepMode {
+    Exhaustive,  ///< probe every offset step down to the crash (validation)
+    Bisection,   ///< O(log steps) boundary search (production fast path)
+};
+
+[[nodiscard]] const char* to_string(SweepMode mode);
+
+struct ParallelCharacterizerConfig {
+    /// Per-cell protocol (offset step, floor, ops per cell, cores, ...).
+    CharacterizerConfig cell{};
+    /// Worker threads; 0 means ThreadPool::default_worker_count().
+    unsigned workers = 0;
+    SweepMode mode = SweepMode::Bisection;
+    /// Root seed of the deterministic per-row / per-cell seeding scheme.
+    std::uint64_t seed = 0xDAC2024;
+    /// Shallow verification window of the bisection onset search, in
+    /// offset steps.  Must cover the stochastic observability band (a
+    /// few steps at 1 mV resolution); the equality tests pin it down.
+    std::uint64_t refine_window = 8;
+};
+
+/// Aggregate cost counters of one sweep (the quantities the bench
+/// tracks: probing work and reboots burned).
+struct SweepStats {
+    std::uint64_t cells_evaluated = 0;  ///< cell probes actually run
+    std::uint64_t crash_probes = 0;     ///< probes that ended in a crash-reboot
+    std::uint64_t rows = 0;             ///< frequency columns characterized
+};
+
+/// The sharded Algorithm 2 driver.
+class ParallelCharacterizer {
+public:
+    ParallelCharacterizer(sim::CpuProfile profile, ParallelCharacterizerConfig config);
+
+    /// Run the sweep over the profile's full frequency table.  `progress`
+    /// (optional) is called on the calling thread, in frequency order,
+    /// once per completed column.
+    [[nodiscard]] SafeStateMap characterize(
+        const std::function<void(const FreqCharacterization&)>& progress = {});
+
+    /// Counters of the last characterize() call.
+    [[nodiscard]] const SweepStats& stats() const { return stats_; }
+
+    [[nodiscard]] const ParallelCharacterizerConfig& config() const { return config_; }
+    [[nodiscard]] const sim::CpuProfile& profile() const { return profile_; }
+
+private:
+    struct RowOutcome {
+        FreqCharacterization row;
+        std::uint64_t cells = 0;
+        std::uint64_t crashes = 0;
+    };
+    class Worker;
+
+    [[nodiscard]] RowOutcome characterize_row(Worker& worker, Megahertz f,
+                                              std::uint64_t row_seed) const;
+
+    sim::CpuProfile profile_;
+    ParallelCharacterizerConfig config_;
+    SweepStats stats_{};
+};
+
+}  // namespace pv::plugvolt

@@ -473,7 +473,7 @@ void Machine::crash(std::string reason) {
     crash_time_ = clock_;
 }
 
-void Machine::reboot() {
+void Machine::restore_boot_state() {
     crashed_ = false;
     crash_reason_.clear();
     events_.clear();
@@ -487,8 +487,22 @@ void Machine::reboot() {
     power_.reset();  // RAPL counters clear at boot
     thermal_.reset();
     energy_at_thermal_update_ = 0.0;
+}
+
+void Machine::reboot() {
+    restore_boot_state();
     clock_ += reboot_delay_;
     ++boot_count_;
+    for (const auto& cb : reset_callbacks_) cb();
+}
+
+void Machine::reset(std::uint64_t seed) {
+    restore_boot_state();
+    thermal_.rewind();  // the clock restarts from zero below
+    clock_ = Picoseconds{};
+    crash_time_ = Picoseconds{};
+    boot_count_ = 1;
+    rng_ = Rng(seed);
     for (const auto& cb : reset_callbacks_) cb();
 }
 

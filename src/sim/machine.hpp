@@ -213,6 +213,16 @@ public:
     /// on-reset callbacks so persistent services re-arm.
     void reboot();
 
+    /// Cheap full reset for reusable worker instances (the sharded
+    /// characterization engine probes thousands of cells per machine):
+    /// restores boot defaults like reboot(), but rewinds the clock to
+    /// zero, reseeds the RNG and charges no boot delay — the machine is
+    /// indistinguishable from a freshly constructed Machine(profile,
+    /// seed) without re-running the constructor's profile validation.
+    /// boot_count() restarts at 1; on-reset callbacks still fire so a
+    /// hosted Kernel re-arms its services.
+    void reset(std::uint64_t seed);
+
     /// Number of completed boots (starts at 1).
     [[nodiscard]] unsigned boot_count() const { return boot_count_; }
 
@@ -224,6 +234,7 @@ public:
     void set_reboot_delay(Picoseconds d) { reboot_delay_ = d; }
 
 private:
+    void restore_boot_state();
     void maybe_crash();
     [[nodiscard]] double leakage_scale() const;
     [[nodiscard]] Megahertz snap_to_table(Megahertz f) const;

@@ -49,4 +49,9 @@ void ThermalModel::reset() {
     // last_update_ intentionally kept: the clock is monotone across boots.
 }
 
+void ThermalModel::rewind() {
+    temp_c_ = params_.ambient_c;
+    last_update_ = Picoseconds{};
+}
+
 }  // namespace pv::sim

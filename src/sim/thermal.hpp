@@ -65,8 +65,13 @@ public:
     void force_temperature(double celsius);
 
     /// Back to ambient (machine reboot happens after a long power-off in
-    /// this model).
+    /// this model).  Keeps the update timestamp: the clock is monotone
+    /// across reboots.
     void reset();
+
+    /// Back to ambient AND rewind the update timestamp to zero — for
+    /// Machine::reset, which restarts the simulated clock itself.
+    void rewind();
 
     [[nodiscard]] const ThermalParams& params() const { return params_; }
 

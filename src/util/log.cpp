@@ -1,11 +1,13 @@
 #include "util/log.hpp"
 
 #include <iostream>
+#include <mutex>
 
 namespace pv {
 namespace {
 
 LogLevel g_level = LogLevel::Warn;
+std::mutex g_sink_mutex;  // characterization workers log concurrently
 
 const char* level_tag(LogLevel level) {
     switch (level) {
@@ -25,6 +27,7 @@ LogLevel log_level() { return g_level; }
 
 void log_line(LogLevel level, const std::string& message) {
     if (level < g_level) return;
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
     std::cerr << "[pv " << level_tag(level) << "] " << message << '\n';
 }
 

@@ -2,8 +2,10 @@
 //
 // A single process-wide sink with a runtime level.  Benches set Level::
 // Info for progress lines; tests leave the default (Warn) so output stays
-// quiet.  Not thread-safe by design: the simulator is single-threaded
-// (discrete-event), which is part of its determinism contract.
+// quiet.  Each simulator instance remains single-threaded (that is part
+// of its determinism contract), but the sharded characterization engine
+// runs many instances at once, so the sink serializes emission; the
+// level itself is set once at startup, before any workers exist.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,92 @@
+// Worker-pool contract: submission, results, exception propagation,
+// draining shutdown, worker identity.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace pv {
+namespace {
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+    EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsValues) {
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptionsThroughFutures) {
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto boom = pool.submit([]() -> int { throw std::runtime_error("cell exploded"); });
+    EXPECT_EQ(ok.get(), 7);
+    try {
+        (void)boom.get();
+        FAIL() << "expected the task's exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "cell exploded");
+    }
+    // The pool survives a throwing task and keeps serving.
+    EXPECT_EQ(pool.submit([] { return 11; }).get(), 11);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilAllTasksFinish) {
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 50; ++i)
+        (void)pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ++done;
+        });
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue) {
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            (void)pool.submit([&done] {
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+                ++done;
+            });
+    }  // destructor completes every queued task before joining
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, WorkerIndexIdentifiesPoolThreads) {
+    constexpr unsigned kWorkers = 4;
+    ThreadPool pool(kWorkers);
+    EXPECT_EQ(pool.size(), kWorkers);
+    EXPECT_EQ(ThreadPool::current_worker_index(), -1);  // not a pool thread
+
+    std::mutex mutex;
+    std::set<int> seen;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([&] {
+            const int idx = ThreadPool::current_worker_index();
+            ASSERT_GE(idx, 0);
+            ASSERT_LT(idx, static_cast<int>(kWorkers));
+            const std::lock_guard<std::mutex> lock(mutex);
+            seen.insert(idx);
+        }));
+    for (auto& f : futures) f.get();
+    EXPECT_GE(seen.size(), 1u);
+    for (const int idx : seen) EXPECT_LT(idx, static_cast<int>(kWorkers));
+}
+
+}  // namespace
+}  // namespace pv
