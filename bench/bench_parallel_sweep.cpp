@@ -71,8 +71,12 @@ int main(int argc, char** argv) {
     const Run sharded = run_engine(profile, workers, plugvolt::SweepMode::Exhaustive);
     const Run bisect = run_engine(profile, workers, plugvolt::SweepMode::Bisection);
 
-    const bool sharded_equal = sharded.map.to_csv() == serial.map.to_csv();
-    const bool bisect_equal = bisect.map.to_csv() == serial.map.to_csv();
+    // Bit-exact map comparison through the checking layer's fingerprint:
+    // one 64-bit digest per map instead of rendering megabytes of CSV,
+    // and the same hash the determinism tests pin down.
+    const std::uint64_t reference_hash = plugvolt::state_hash(serial.map);
+    const bool sharded_equal = plugvolt::state_hash(sharded.map) == reference_hash;
+    const bool bisect_equal = plugvolt::state_hash(bisect.map) == reference_hash;
 
     Table table({"variant", "wall (ms)", "cells", "speedup vs legacy", "map"});
     auto add = [&](const char* name, double ms, std::uint64_t cells, const char* map_note) {

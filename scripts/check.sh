@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# One-shot local correctness gate: mirrors what CI enforces.
+#
+#   scripts/check.sh            # warnings-as-errors build + full ctest
+#   scripts/check.sh --asan     # + ASan/UBSan build, ctest -LE soak
+#   scripts/check.sh --tsan     # + TSan build, ctest -L concurrency
+#   scripts/check.sh --tidy     # + clang-tidy over src/ (needs clang-tidy)
+#   scripts/check.sh --all      # everything above
+#
+# Build trees land in build-check*/ so they never disturb ./build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_asan=0 run_tsan=0 run_tidy=0
+for arg in "$@"; do
+    case "$arg" in
+        --asan) run_asan=1 ;;
+        --tsan) run_tsan=1 ;;
+        --tidy) run_tidy=1 ;;
+        --all)  run_asan=1 run_tsan=1 run_tidy=1 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+launcher=()
+if command -v ccache >/dev/null 2>&1; then
+    launcher=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "warnings-as-errors build + full test suite"
+cmake -B build-check -S . -DPV_WERROR=ON "${launcher[@]}" >/dev/null
+cmake --build build-check -j "$jobs"
+ctest --test-dir build-check --output-on-failure -j "$jobs"
+
+if [ "$run_asan" -eq 1 ]; then
+    step "ASan + UBSan (ctest -LE soak)"
+    cmake -B build-check-asan -S . -DPV_WERROR=ON \
+        -DPV_SANITIZE=address,undefined "${launcher[@]}" >/dev/null
+    cmake --build build-check-asan -j "$jobs"
+    ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        ctest --test-dir build-check-asan --output-on-failure -j "$jobs" -LE soak
+fi
+
+if [ "$run_tsan" -eq 1 ]; then
+    step "TSan (ctest -L concurrency)"
+    cmake -B build-check-tsan -S . -DPV_WERROR=ON \
+        -DPV_SANITIZE=thread "${launcher[@]}" >/dev/null
+    cmake --build build-check-tsan -j "$jobs"
+    TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+        ctest --test-dir build-check-tsan --output-on-failure -j "$jobs" -L concurrency
+fi
+
+if [ "$run_tidy" -eq 1 ]; then
+    step "clang-tidy over src/"
+    if ! command -v run-clang-tidy >/dev/null 2>&1; then
+        echo "run-clang-tidy not found; install clang-tidy" >&2
+        exit 1
+    fi
+    cmake -B build-check-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        "${launcher[@]}" >/dev/null
+    run-clang-tidy -p build-check-tidy -quiet "$(pwd)/src/.*\.cpp$"
+fi
+
+step "all checks passed"

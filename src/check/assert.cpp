@@ -1,0 +1,34 @@
+#include "check/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace pv::check {
+namespace {
+
+FailureHandler g_handler;  // empty = default (abort)
+
+}  // namespace
+
+FailureHandler set_check_failure_handler(FailureHandler handler) {
+    return std::exchange(g_handler, std::move(handler));
+}
+
+namespace detail {
+
+void check_failed(const char* expression, const char* file, int line,
+                  const std::string& context) {
+    // Straight to stderr (not the log sink): the message must survive
+    // any log level, and death tests match against stderr.
+    std::fprintf(stderr, "%s:%d: PV_ASSERT(%s) failed%s%s\n", file, line, expression,
+                 context.empty() ? "" : ": ", context.c_str());
+    std::fflush(stderr);
+    if (g_handler) g_handler(CheckFailure{expression, file, line, context});
+    // Either no handler is installed or the handler declined to throw;
+    // a failed invariant never continues.
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace pv::check

@@ -1,0 +1,102 @@
+// PlugVolt — machine-enforced invariants: PV_ASSERT / PV_DCHECK.
+//
+// The simulator's correctness argument rests on invariants that were
+// previously comment-enforced ("the rail never goes negative", "worker
+// indices are always valid").  These macros make them machine-enforced:
+//
+//   PV_ASSERT(cond)            always-on check (PV_CHECK_LEVEL >= 1)
+//   PV_ASSERT(cond, ctx << x)  with streamed context, built lazily —
+//                              only evaluated when the check fires
+//   PV_DCHECK(cond)            debug check (PV_CHECK_LEVEL >= 2); elided
+//                              to a syntax-only no-op in release builds
+//
+// PV_CHECK_LEVEL is a compile definition plumbed through CMake
+// (-DPV_CHECK_LEVEL=0|1|2, default 2).  At level 0 both macros compile
+// to `sizeof`-checked no-ops: the condition is type-checked but never
+// evaluated, so release builds pay nothing.
+//
+// A failed check prints `file:line: PV_ASSERT(cond) failed: context` to
+// stderr and calls the process-wide failure handler (default: abort(),
+// which is what GTest death tests expect).  Tests that want to assert on
+// the formatted message without dying can install a throwing handler via
+// set_check_failure_handler().
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#ifndef PV_CHECK_LEVEL
+#define PV_CHECK_LEVEL 2
+#endif
+
+namespace pv::check {
+
+/// Everything known about one failed check, as given to the handler.
+struct CheckFailure {
+    const char* expression;  ///< stringified condition
+    const char* file;
+    int line;
+    std::string context;  ///< streamed message, "" when none was given
+};
+
+using FailureHandler = std::function<void(const CheckFailure&)>;
+
+/// Install a process-wide handler called on check failure (after the
+/// message is printed to stderr).  Returns the previous handler.  A
+/// handler that returns normally still aborts the process — throw to
+/// survive.  Intended for tests; not thread-safe against racing installs.
+FailureHandler set_check_failure_handler(FailureHandler handler);
+
+namespace detail {
+
+/// Print + dispatch to the handler; aborts if the handler returns.
+[[noreturn]] void check_failed(const char* expression, const char* file, int line,
+                               const std::string& context);
+
+/// Streamed-context builder: PV_ASSERT(x, "y=" << y) expands the
+/// variadic part into `(std::ostringstream{} << ... )`.
+class ContextStream {
+public:
+    template <typename T>
+    ContextStream& operator<<(const T& v) {
+        os_ << v;
+        return *this;
+    }
+    [[nodiscard]] std::string str() const { return os_.str(); }
+
+private:
+    std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace pv::check
+
+// The context arguments only ever run when the check already failed, so
+// arbitrarily expensive diagnostics cost nothing on the hot path.
+#define PV_CHECK_IMPL(cond, ...)                                                  \
+    do {                                                                          \
+        if (!(cond)) [[unlikely]] {                                               \
+            ::pv::check::detail::check_failed(                                    \
+                #cond, __FILE__, __LINE__,                                        \
+                (::pv::check::detail::ContextStream{} __VA_ARGS__).str());        \
+        }                                                                         \
+    } while (false)
+
+// Syntax-only no-op: the condition is type-checked, never evaluated.
+#define PV_CHECK_ELIDED(cond, ...) \
+    do {                           \
+        (void)sizeof(!(cond));     \
+    } while (false)
+
+#if PV_CHECK_LEVEL >= 1
+#define PV_ASSERT(cond, ...) PV_CHECK_IMPL(cond, __VA_OPT__(<<) __VA_ARGS__)
+#else
+#define PV_ASSERT(cond, ...) PV_CHECK_ELIDED(cond)
+#endif
+
+#if PV_CHECK_LEVEL >= 2
+#define PV_DCHECK(cond, ...) PV_CHECK_IMPL(cond, __VA_OPT__(<<) __VA_ARGS__)
+#else
+#define PV_DCHECK(cond, ...) PV_CHECK_ELIDED(cond)
+#endif

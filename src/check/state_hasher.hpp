@@ -1,0 +1,53 @@
+// PlugVolt — order-sensitive state fingerprinting (determinism checker).
+//
+// The parallel sweep engine's headline guarantee is that its maps are
+// *bit-identical* to the serial reference.  Until now that was checked
+// by ad-hoc comparisons (CSV string equality in one bench, field loops
+// in tests).  StateHasher gives every layer the same definition of
+// "identical": a 64-bit FNV-1a fingerprint over a canonical serialization
+// of the state — doubles are hashed by bit pattern, so two states hash
+// equal iff they are bit-for-bit the same, not merely close.
+//
+// Producers: Machine::state_hash() (full simulator state) and
+// pv::plugvolt::state_hash(SafeStateMap) (characterization results).
+// Consumers: determinism tests and bench_parallel_sweep's self-check.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace pv::check {
+
+/// Incremental FNV-1a (64-bit) over typed fields.  Field order matters;
+/// mix a tag or length where ambiguity is possible.
+class StateHasher {
+public:
+    StateHasher& mix(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(v >> (8 * i)));
+        return *this;
+    }
+    StateHasher& mix(std::int64_t v) { return mix(static_cast<std::uint64_t>(v)); }
+    StateHasher& mix(std::uint32_t v) { return mix(static_cast<std::uint64_t>(v)); }
+    StateHasher& mix(bool b) { return mix(static_cast<std::uint64_t>(b)); }
+    /// Doubles hash by bit pattern: -0.0 != +0.0, and NaNs are distinct
+    /// by payload — exactly the "bit-identical" contract.
+    StateHasher& mix(double d) { return mix(std::bit_cast<std::uint64_t>(d)); }
+    StateHasher& mix(std::string_view s) {
+        mix(static_cast<std::uint64_t>(s.size()));  // length-prefix: no concatenation aliasing
+        for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+        return *this;
+    }
+
+    [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+private:
+    void mix_byte(unsigned char b) {
+        h_ ^= b;
+        h_ *= 0x100000001B3ULL;  // FNV-1a 64 prime
+    }
+
+    std::uint64_t h_ = 0xCBF29CE484222325ULL;  // FNV-1a 64 offset basis
+};
+
+}  // namespace pv::check

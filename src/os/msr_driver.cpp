@@ -1,8 +1,14 @@
 #include "os/msr_driver.hpp"
 
+#include <utility>
+
 namespace pv::os {
 
 MsrDriver::MsrDriver(sim::Machine& machine) : machine_(machine) {}
+
+MsrObserver* MsrDriver::set_observer(MsrObserver* observer) {
+    return std::exchange(observer_, observer);
+}
 
 void MsrDriver::charge(unsigned cpu, std::uint64_t cycles) {
     total_cycles_ += cycles;
@@ -21,12 +27,17 @@ Cycles MsrDriver::write_cost(bool remote) const {
 
 std::uint64_t MsrDriver::rdmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr) {
     charge(caller_cpu, read_cost(caller_cpu != target_cpu).value());
-    return machine_.read_msr(target_cpu, addr);
+    const std::uint64_t value = machine_.read_msr(target_cpu, addr);
+    if (observer_ != nullptr) observer_->on_rdmsr(caller_cpu, target_cpu, addr, value);
+    return value;
 }
 
 bool MsrDriver::wrmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
                       std::uint64_t value) {
     charge(caller_cpu, write_cost(caller_cpu != target_cpu).value());
+    // Observed BEFORE the machine applies it, so an auditor's machine-
+    // level hook can tell driver traffic from out-of-band injection.
+    if (observer_ != nullptr) observer_->on_wrmsr(caller_cpu, target_cpu, addr, value);
     return machine_.write_msr(target_cpu, addr, value);
 }
 

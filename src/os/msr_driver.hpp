@@ -15,10 +15,30 @@
 
 namespace pv::os {
 
+/// Passive tap on driver-level MSR traffic.  Observers see every access
+/// that goes through this driver (the legitimate software path); traffic
+/// that reaches the Machine without passing here is, by definition,
+/// out-of-band — which is exactly what check::MsrAuditor cross-checks.
+class MsrObserver {
+public:
+    virtual ~MsrObserver() = default;
+    /// Called before the write reaches the machine.
+    virtual void on_wrmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
+                          std::uint64_t value) = 0;
+    /// Called after the read, with the value returned to the caller.
+    virtual void on_rdmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
+                          std::uint64_t value) = 0;
+};
+
 /// Kernel- and user-context MSR access with cycle accounting.
 class MsrDriver {
 public:
     explicit MsrDriver(sim::Machine& machine);
+
+    /// Attach/detach a traffic observer (non-owning; at most one).
+    /// Returns the previously attached observer, if any.
+    MsrObserver* set_observer(MsrObserver* observer);
+    [[nodiscard]] MsrObserver* observer() const { return observer_; }
 
     /// Kernel-context rdmsr of `target_cpu`'s MSR from `caller_cpu`.
     /// Remote targets pay the IPI price (smp_call_function_single).
@@ -49,6 +69,7 @@ private:
     void charge(unsigned cpu, std::uint64_t cycles);
 
     sim::Machine& machine_;
+    MsrObserver* observer_ = nullptr;
     std::uint64_t total_cycles_ = 0;
 };
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/assert.hpp"
 #include "os/kernel.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -209,7 +210,14 @@ SafeStateMap ParallelCharacterizer::characterize(
         const Megahertz f = table[i];
         const std::uint64_t row_seed = mix_seed(config_.seed, i);
         futures.push_back(pool.submit([this, &workers, f, row_seed] {
+            // The workers vector is shared across threads but strictly
+            // partitioned by worker index: each pool thread only ever
+            // touches its own Worker, so no lock is needed — the index
+            // bound is the invariant that partitioning rests on.
             const int w = ThreadPool::current_worker_index();
+            PV_ASSERT(w >= 0 && static_cast<std::size_t>(w) < workers.size(),
+                      "row task ran outside the pool: worker index " << w << " of "
+                                                                     << workers.size());
             return characterize_row(*workers[static_cast<std::size_t>(w)], f, row_seed);
         }));
     }

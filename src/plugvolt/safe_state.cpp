@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/state_hasher.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 
@@ -118,6 +119,20 @@ SafeStateMap SafeStateMap::from_csv(const std::string& text, std::string system_
         });
     }
     return map;
+}
+
+std::uint64_t state_hash(const SafeStateMap& map) {
+    check::StateHasher h;
+    h.mix(map.system_name());
+    h.mix(map.sweep_floor().value());
+    h.mix(static_cast<std::uint64_t>(map.rows().size()));
+    for (const FreqCharacterization& row : map.rows()) {
+        h.mix(row.freq.value());
+        h.mix(row.onset.value());
+        h.mix(row.crash.value());
+        h.mix(row.fault_free);
+    }
+    return h.digest();
 }
 
 }  // namespace pv::plugvolt

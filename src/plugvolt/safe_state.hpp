@@ -92,4 +92,10 @@ private:
     std::vector<FreqCharacterization> rows_;
 };
 
+/// 64-bit fingerprint of a map (check::StateHasher over every field).
+/// Two maps hash equal iff they are bit-identical cell-for-cell — the
+/// single definition of "same map" shared by the determinism tests and
+/// bench_parallel_sweep's self-check.
+[[nodiscard]] std::uint64_t state_hash(const SafeStateMap& map);
+
 }  // namespace pv::plugvolt

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "check/assert.hpp"
+#include "check/state_hasher.hpp"
 #include "util/error.hpp"
 
 namespace pv::sim {
@@ -45,6 +48,56 @@ Machine::Machine(CpuProfile profile, std::uint64_t seed)
             throw ConfigError("profile crashes at nominal voltage, f=" +
                               std::to_string(f.value()) + " MHz");
     }
+    register_builtin_invariants();
+}
+
+void Machine::register_builtin_invariants() {
+#if PV_CHECK_LEVEL >= 2
+    invariants_.set_cadence(64);
+#endif
+    invariants_.add("core-frequency-in-range", [this](std::string& why) {
+        for (const Core& c : cores_) {
+            if (c.frequency() < profile_.freq_min || c.frequency() > profile_.freq_max) {
+                why = "core " + std::to_string(c.id()) + " at " +
+                      std::to_string(c.frequency().value()) + " MHz, table is [" +
+                      std::to_string(profile_.freq_min.value()) + ", " +
+                      std::to_string(profile_.freq_max.value()) + "]";
+                return false;
+            }
+        }
+        return true;
+    });
+    invariants_.add("requested-frequency-in-range", [this](std::string& why) {
+        for (unsigned i = 0; i < requested_freq_.size(); ++i) {
+            if (requested_freq_[i] < profile_.freq_min || requested_freq_[i] > profile_.freq_max) {
+                why = "core " + std::to_string(i) + " requested " +
+                      std::to_string(requested_freq_[i].value()) + " MHz outside the table";
+                return false;
+            }
+        }
+        return true;
+    });
+    invariants_.add("rail-physically-plausible", [this](std::string& why) {
+        const double v = package_voltage().value();
+        // The rail can sag deep under attack, but a value outside this
+        // envelope (or NaN) is silent state corruption, not physics.
+        if (!std::isfinite(v) || v < -1500.0 || v > 3000.0) {
+            why = "package rail at " + std::to_string(v) + " mV";
+            return false;
+        }
+        return true;
+    });
+    invariants_.add("mailbox-target-representable", [this](std::string& why) {
+        // 11-bit two's complement in 1/1024 V units: about [-1000, +999] mV.
+        for (std::size_t p = 0; p < mailbox_target_.size(); ++p) {
+            const double mv = mailbox_target_[p].value();
+            if (!std::isfinite(mv) || mv < -1000.5 || mv > 999.5) {
+                why = "plane " + std::to_string(p) + " commanded " + std::to_string(mv) + " mV";
+                return false;
+            }
+        }
+        return true;
+    });
 }
 
 Core& Machine::core(unsigned id) {
@@ -260,10 +313,12 @@ void Machine::advance_to(Picoseconds t) {
         events_.run_until(et);
         maybe_crash();
         if (crashed_) return;
+        invariants_.tick();
     }
     integrate_power_to(t);
     clock_ = t;
     maybe_crash();
+    invariants_.tick();
 }
 
 std::uint64_t Machine::read_msr(unsigned core_id, std::uint32_t addr) const {
@@ -494,6 +549,45 @@ void Machine::reboot() {
     clock_ += reboot_delay_;
     ++boot_count_;
     for (const auto& cb : reset_callbacks_) cb();
+}
+
+std::uint64_t Machine::state_hash() const {
+    check::StateHasher h;
+    h.mix(profile_.name);
+    h.mix(clock_.value());
+    h.mix(static_cast<std::uint64_t>(boot_count_));
+    h.mix(crashed_);
+    h.mix(crash_time_.value());
+    h.mix(crash_reason_);
+    for (const Core& c : cores_) {
+        h.mix(c.frequency().value());
+        h.mix(static_cast<std::uint64_t>(c.cstate()));
+        h.mix(c.instructions_retired());
+        h.mix(c.pending_steal().value());
+        h.mix(c.total_steal().value());
+    }
+    for (const Megahertz f : requested_freq_) h.mix(f.value());
+    for (std::size_t p = 0; p < mailbox_target_.size(); ++p) {
+        const auto plane = static_cast<VoltagePlane>(p);
+        h.mix(mailbox_target_[p].value());
+        h.mix(regulator_.target(plane).value());
+        h.mix(regulator_.offset_at(plane, clock_).value());
+    }
+    h.mix(base_rail_.offset_at(VoltagePlane::Core, clock_).value());
+    // unordered_map iterates in hash order; canonicalize by key.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> msrs(msr_storage_.begin(),
+                                                              msr_storage_.end());
+    std::sort(msrs.begin(), msrs.end());
+    h.mix(static_cast<std::uint64_t>(msrs.size()));
+    for (const auto& [key, value] : msrs) {
+        h.mix(key);
+        h.mix(value);
+    }
+    h.mix(power_.dynamic_joules());
+    h.mix(power_.leakage_joules());
+    h.mix(thermal_.temperature_c());
+    h.mix(rng_.state_fingerprint());
+    return h.digest();
 }
 
 void Machine::reset(std::uint64_t seed) {

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/invariant_registry.hpp"
 #include "sim/core.hpp"
 #include "sim/cpu_profile.hpp"
 #include "sim/event_queue.hpp"
@@ -233,8 +234,24 @@ public:
     [[nodiscard]] Picoseconds reboot_delay() const { return reboot_delay_; }
     void set_reboot_delay(Picoseconds d) { reboot_delay_ = d; }
 
+    // --- checking layer ------------------------------------------------------
+    /// Runtime invariant registry.  The machine registers its own
+    /// physical-plausibility invariants at construction and ticks the
+    /// registry from the event loop; components and tests may register
+    /// more.  Cadence defaults to every 64th tick at PV_CHECK_LEVEL >= 2
+    /// and to disabled otherwise; registrations survive reboot()/reset().
+    [[nodiscard]] check::InvariantRegistry& invariants() { return invariants_; }
+    [[nodiscard]] const check::InvariantRegistry& invariants() const { return invariants_; }
+
+    /// 64-bit fingerprint of the complete architectural + physical state
+    /// (clock, cores, rails, MSRs, energy, thermal).  Two machines with
+    /// equal hashes went through bit-identical histories — the
+    /// determinism contract the parallel sweep engine is tested against.
+    [[nodiscard]] std::uint64_t state_hash() const;
+
 private:
     void restore_boot_state();
+    void register_builtin_invariants();
     void maybe_crash();
     [[nodiscard]] double leakage_scale() const;
     [[nodiscard]] Megahertz snap_to_table(Megahertz f) const;
@@ -272,6 +289,7 @@ private:
     unsigned boot_count_ = 1;
     Picoseconds reboot_delay_ = milliseconds(100.0);
     std::vector<ResetCallback> reset_callbacks_;
+    check::InvariantRegistry invariants_;
 };
 
 }  // namespace pv::sim

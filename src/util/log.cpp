@@ -1,13 +1,19 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace pv {
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
-std::mutex g_sink_mutex;  // characterization workers log concurrently
+// The level is read on every log call from every characterization
+// worker while tests/benches may set it from the main thread: a plain
+// LogLevel here is a data race (caught by TSan).  Relaxed atomics are
+// enough — the level is a filter, not a synchronization point.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+Mutex g_sink_mutex;  // serializes emission: workers log concurrently
 
 const char* level_tag(LogLevel level) {
     switch (level) {
@@ -22,12 +28,12 @@ const char* level_tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
-    if (level < g_level) return;
-    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    if (level < log_level()) return;
+    const MutexLock lock(g_sink_mutex);
     std::cerr << "[pv " << level_tag(level) << "] " << message << '\n';
 }
 

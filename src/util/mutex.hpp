@@ -1,0 +1,62 @@
+// PlugVolt — annotated mutex primitives.
+//
+// std::mutex carries no thread-safety attributes, so Clang's capability
+// analysis cannot reason about it.  These thin wrappers add the
+// annotations (and nothing else): Mutex is a std::mutex declared as a
+// capability, MutexLock is the annotated scoped lock, and CondVar is a
+// condition variable that waits on a Mutex directly (it is a
+// std::condition_variable_any, so no std::unique_lock is needed — the
+// analysis sees the mutex stay held across the wait).  Use these for any
+// state shared between threads; single-threaded code needs none of it.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace pv {
+
+/// A std::mutex the thread-safety analysis can see.
+class PV_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() PV_ACQUIRE() { m_.lock(); }
+    void unlock() PV_RELEASE() { m_.unlock(); }
+    [[nodiscard]] bool try_lock() PV_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+private:
+    std::mutex m_;
+};
+
+/// Scoped lock over Mutex (std::lock_guard with annotations).
+class PV_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& m) PV_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() PV_RELEASE() { m_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& m_;
+};
+
+/// Condition variable waiting directly on a Mutex.  The caller must hold
+/// the mutex; wait() releases it while sleeping and reacquires it before
+/// returning, exactly like std::condition_variable — the annotation
+/// REQUIRES(m) expresses the held-before/held-after contract.
+class CondVar {
+public:
+    void wait(Mutex& m) PV_REQUIRES(m) { cv_.wait(m); }
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+private:
+    std::condition_variable_any cv_;
+};
+
+}  // namespace pv

@@ -1,5 +1,6 @@
 #include "util/rng.hpp"
 
+#include <bit>
 #include <cmath>
 #include <numbers>
 
@@ -108,5 +109,21 @@ std::uint64_t Rng::binomial(std::uint64_t n, double p) {
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
+
+std::uint64_t Rng::state_fingerprint() const {
+    // FNV-1a over the state words; kept dependency-free so util stays
+    // below the check layer.
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 0x100000001B3ULL;
+        }
+    };
+    for (const std::uint64_t word : s_) mix(word);
+    mix(have_cached_gaussian_ ? 1 : 0);
+    mix(std::bit_cast<std::uint64_t>(cached_gaussian_));
+    return h;
+}
 
 }  // namespace pv

@@ -48,6 +48,12 @@ public:
     /// subsystem its own stream from one experiment seed.
     Rng fork();
 
+    /// Order-sensitive fingerprint of the full generator state (the four
+    /// xoshiro words plus the Box–Muller cache).  Two generators with
+    /// equal fingerprints produce identical streams forever — what the
+    /// determinism checker needs to assert, without exposing the words.
+    [[nodiscard]] std::uint64_t state_fingerprint() const;
+
 private:
     std::uint64_t s_[4];
     bool have_cached_gaussian_ = false;

@@ -1,0 +1,49 @@
+// PlugVolt — Clang thread-safety annotation macros.
+//
+// Wraps Clang's capability analysis attributes (-Wthread-safety) in
+// PV_-prefixed macros that compile to nothing on other compilers, so the
+// same headers build warning-free under GCC while Clang statically
+// proves every access to a PV_GUARDED_BY member happens under its lock.
+// The vocabulary follows the Clang documentation; only the subset this
+// codebase needs is defined.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PV_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PV_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define PV_CAPABILITY(x) PV_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define PV_SCOPED_CAPABILITY PV_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define PV_GUARDED_BY(x) PV_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define PV_PT_GUARDED_BY(x) PV_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that acquires the capability (exclusively).
+#define PV_ACQUIRE(...) PV_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define PV_RELEASE(...) PV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when returning `b`.
+#define PV_TRY_ACQUIRE(b, ...) PV_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must hold the capability to call this function.
+#define PV_REQUIRES(...) PV_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function takes it itself).
+#define PV_EXCLUDES(...) PV_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding the annotated data.
+#define PV_RETURN_CAPABILITY(x) PV_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disable the analysis inside one function body.
+#define PV_NO_THREAD_SAFETY_ANALYSIS PV_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(unsigned workers) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     wake_.notify_all();
@@ -30,8 +30,8 @@ void ThreadPool::worker_main(unsigned index) {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            while (!stopping_ && queue_.empty()) wake_.wait(mutex_);
             if (queue_.empty()) return;  // stopping_ and drained
             task = std::move(queue_.front());
             queue_.pop();
@@ -39,7 +39,7 @@ void ThreadPool::worker_main(unsigned index) {
         }
         task();  // packaged_task: exceptions land in the future
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --active_;
         }
         idle_.notify_all();
@@ -47,8 +47,8 @@ void ThreadPool::worker_main(unsigned index) {
 }
 
 void ThreadPool::wait_idle() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    MutexLock lock(mutex_);
+    while (!queue_.empty() || active_ != 0) idle_.wait(mutex_);
 }
 
 int ThreadPool::current_worker_index() { return t_worker_index; }

@@ -13,14 +13,16 @@
 // the destructor runs is completed, then the threads join.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pv {
 
@@ -46,7 +48,7 @@ public:
         auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
         std::future<R> result = task->get_future();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (stopping_) throw std::runtime_error("submit() on a stopped ThreadPool");
             queue_.emplace([task] { (*task)(); });
         }
@@ -55,7 +57,7 @@ public:
     }
 
     /// Block until the queue is empty and no task is executing.
-    void wait_idle();
+    void wait_idle() PV_EXCLUDES(mutex_);
 
     /// Index of the pool worker the calling thread is (0..size-1), or
     /// -1 when called from a thread that is not a pool worker.  Lets a
@@ -68,15 +70,15 @@ public:
     [[nodiscard]] static unsigned default_worker_count();
 
 private:
-    void worker_main(unsigned index);
+    void worker_main(unsigned index) PV_EXCLUDES(mutex_);
 
     std::vector<std::thread> threads_;
-    std::queue<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    std::condition_variable idle_;
-    unsigned active_ = 0;
-    bool stopping_ = false;
+    Mutex mutex_;
+    std::queue<std::function<void()>> queue_ PV_GUARDED_BY(mutex_);
+    CondVar wake_;
+    CondVar idle_;
+    unsigned active_ PV_GUARDED_BY(mutex_) = 0;
+    bool stopping_ PV_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pv
