@@ -6,206 +6,79 @@
 // plus the precise-step VoltJockey ablation, plus whether a benign
 // non-SGX process can still use safe undervolting while an enclave is
 // loaded — the paper's differentiator against access-control defenses.
+//
+// The matrix itself is one slice of the campaign engine's cube (the
+// Comet Lake plane); this bench just configures the engine and renders
+// the paper-shaped table.  campaign_demo runs the full three-profile
+// cube with the replay/determinism checks on top.
+#include <cinttypes>
 #include <cstdio>
-#include <functional>
-#include <memory>
-#include <optional>
+#include <string>
+#include <vector>
 
-#include "attacks/plundervolt.hpp"
-#include "attacks/v0ltpwn.hpp"
-#include "attacks/voltjockey.hpp"
-#include "attacks/voltpillager.hpp"
 #include "bench_common.hpp"
-#include "defenses/access_control.hpp"
-#include "defenses/minefield.hpp"
-#include "plugvolt/plugvolt.hpp"
-#include "sgx/runtime.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "util/log.hpp"
 
 using namespace pv;
 
 namespace {
 
-struct Scenario {
-    std::string name;
-    bool uses_minefield = false;
-    // Installs the defense; returns an object keeping it alive.
-    std::function<std::shared_ptr<void>(os::Kernel&, sgx::SgxRuntime&,
-                                        const plugvolt::SafeStateMap&)>
-        install;
-};
-
-struct Outcome {
-    bool weaponized = false;
-    std::uint64_t faults = 0;
-};
-
-std::string cell(const Outcome& o) {
-    if (o.weaponized) return "BROKEN (" + std::to_string(o.faults) + " faults)";
-    if (o.faults > 0) return "faults leaked (" + std::to_string(o.faults) + ")";
-    return "blocked";
-}
-
-struct Rig {
-    explicit Rig(std::uint64_t seed)
-        : machine(sim::cometlake_i7_10510u(), seed), kernel(machine), runtime(kernel) {}
-    sim::Machine machine;
-    os::Kernel kernel;
-    sgx::SgxRuntime runtime;
-};
-
-Outcome run_attack(attack::Attack& atk, os::Kernel& kernel) {
-    const attack::AttackResult r = atk.run(kernel);
-    return {r.weaponized, r.faults_observed};
-}
-
-std::string benign_undervolt_verdict(Rig& rig) {
-    // A benign process pins 1.2 GHz and asks first for a shallow (-40 mV)
-    // and then for a deep-but-safe (-100 mV) undervolt.
-    os::Cpupower cpupower(rig.kernel.cpufreq(), rig.machine.core_count());
-    cpupower.frequency_set(from_ghz(1.2));
-    rig.machine.advance_to(rig.machine.rail_settle_time());
-
-    auto reaches = [&](double mv) {
-        rig.kernel.msr().ioctl_wrmsr(
-            0, 0, sim::kMsrOcMailbox,
-            sim::encode_offset(Millivolts{mv}, sim::VoltagePlane::Core));
-        rig.machine.advance(milliseconds(2.0));
-        return rig.machine.applied_offset(sim::VoltagePlane::Core).value() < mv + 5.0;
-    };
-    const bool shallow = reaches(-40.0);
-    const bool deep = reaches(-100.0);
-    if (shallow && deep) return "full";
-    if (shallow) return "clamped";
-    return "DENIED";
+std::string defense_row_name(campaign::DefenseKind kind) {
+    using campaign::DefenseKind;
+    switch (kind) {
+        case DefenseKind::None: return "no defense";
+        case DefenseKind::PollingNoRailWatch: return "PlugVolt polling (paper: no rail watch)";
+        case DefenseKind::PollingSafeLimit: return "PlugVolt polling (safe-limit + rail watch)";
+        case DefenseKind::PollingMaximalSafe: return "PlugVolt polling (maximal-safe)";
+        case DefenseKind::PollingRestoreZero: return "PlugVolt polling (restore-zero)";
+        case DefenseKind::Microcode: return "PlugVolt microcode (Sec. 5.1)";
+        case DefenseKind::MsrClamp: return "PlugVolt hardware MSR (Sec. 5.2)";
+        case DefenseKind::AccessControl: return "Intel SA-00289 access control";
+        case DefenseKind::Minefield: return "Minefield (trap deflection)";
+    }
+    return campaign::to_string(kind);
 }
 
 }  // namespace
 
 int main() {
-    const sim::CpuProfile profile = sim::cometlake_i7_10510u();
-    std::printf("=== Attack/defense efficacy matrix (%s) ===\n\n", profile.codename.c_str());
-    const plugvolt::SafeStateMap map = bench::characterize(profile, Millivolts{2.0});
+    // Audit findings are tallied per cell; the per-access warn lines
+    // would swamp the table.
+    set_log_level(LogLevel::Error);
 
-    const std::vector<Scenario> scenarios = {
-        {"no defense", false,
-         [](os::Kernel&, sgx::SgxRuntime&, const plugvolt::SafeStateMap&) {
-             return std::shared_ptr<void>();
-         }},
-        {"PlugVolt polling (paper: no rail watch)", false,
-         [](os::Kernel& k, sgx::SgxRuntime&, const plugvolt::SafeStateMap& m) {
-             auto module =
-                 std::make_shared<plugvolt::PollingModule>(m, plugvolt::PollingConfig{});
-             k.load_module(module);
-             return std::shared_ptr<void>(module);
-         }},
-        {"PlugVolt polling (safe-limit + rail watch)", false,
-         [](os::Kernel& k, sgx::SgxRuntime&, const plugvolt::SafeStateMap& m) {
-             auto p = std::make_shared<plugvolt::Protector>(k, m);
-             p->deploy(plugvolt::DeploymentLevel::KernelModule);
-             return std::shared_ptr<void>(p);
-         }},
-        {"PlugVolt polling (maximal-safe)", false,
-         [](os::Kernel& k, sgx::SgxRuntime&, const plugvolt::SafeStateMap& m) {
-             auto p = std::make_shared<plugvolt::Protector>(k, m);
-             plugvolt::PollingConfig cfg;
-             cfg.restore = plugvolt::RestorePolicy::ClampToMaximalSafe;
-             p->deploy(plugvolt::DeploymentLevel::KernelModule, cfg);
-             return std::shared_ptr<void>(p);
-         }},
-        {"PlugVolt microcode (Sec. 5.1)", false,
-         [](os::Kernel& k, sgx::SgxRuntime&, const plugvolt::SafeStateMap& m) {
-             auto p = std::make_shared<plugvolt::Protector>(k, m);
-             p->deploy(plugvolt::DeploymentLevel::Microcode);
-             return std::shared_ptr<void>(p);
-         }},
-        {"PlugVolt hardware MSR (Sec. 5.2)", false,
-         [](os::Kernel& k, sgx::SgxRuntime&, const plugvolt::SafeStateMap& m) {
-             auto p = std::make_shared<plugvolt::Protector>(k, m);
-             p->deploy(plugvolt::DeploymentLevel::HardwareMsr);
-             return std::shared_ptr<void>(p);
-         }},
-        {"Intel SA-00289 access control", false,
-         [](os::Kernel& k, sgx::SgxRuntime& rt, const plugvolt::SafeStateMap&) {
-             auto p = std::make_shared<defense::AccessControl>(k.machine(), rt);
-             p->install();
-             return std::shared_ptr<void>(p);
-         }},
-        {"Minefield (trap deflection)", true,
-         [](os::Kernel&, sgx::SgxRuntime&, const plugvolt::SafeStateMap&) {
-             return std::shared_ptr<void>();  // applied at victim compile time
-         }},
+    campaign::CampaignConfig config;
+    config.profiles = {sim::cometlake_i7_10510u()};
+    // Keep the original bench's row order (the paper's presentation);
+    // restore-zero is campaign-only detail, not a paper row.
+    config.defenses = {
+        campaign::DefenseKind::None,
+        campaign::DefenseKind::PollingNoRailWatch,
+        campaign::DefenseKind::PollingSafeLimit,
+        campaign::DefenseKind::PollingMaximalSafe,
+        campaign::DefenseKind::Microcode,
+        campaign::DefenseKind::MsrClamp,
+        campaign::DefenseKind::AccessControl,
+        campaign::DefenseKind::Minefield,
     };
+
+    std::printf("=== Attack/defense efficacy matrix (%s) ===\n\n",
+                config.profiles[0].codename.c_str());
+
+    campaign::CampaignEngine engine(config);
+    const campaign::CampaignReport report = engine.run();
 
     Table table({"defense", "Plundervolt", "VoltJockey", "VoltJockey (precise)",
                  "VoltJockey (desc-rail)", "VoltPillager (HW)", "V0LTpwn (no step)",
                  "V0LTpwn + SGX-Step", "benign undervolt?"});
 
-    for (const auto& scenario : scenarios) {
-        std::string cells[7];
-
-        {  // Plundervolt
-            Rig rig(101);
-            auto guard = scenario.install(rig.kernel, rig.runtime, map);
-            auto enclave = rig.runtime.create_enclave("tenant", 3);
-            attack::Plundervolt atk;
-            cells[0] = cell(run_attack(atk, rig.kernel));
-        }
-        {  // VoltJockey big-jump
-            Rig rig(102);
-            auto guard = scenario.install(rig.kernel, rig.runtime, map);
-            auto enclave = rig.runtime.create_enclave("tenant", 3);
-            attack::VoltJockey atk;
-            cells[1] = cell(run_attack(atk, rig.kernel));
-        }
-        {  // VoltJockey precise adjacent-bin
-            Rig rig(103);
-            auto guard = scenario.install(rig.kernel, rig.runtime, map);
-            auto enclave = rig.runtime.create_enclave("tenant", 3);
-            attack::VoltJockeyConfig cfg;
-            cfg.precise_step = true;
-            attack::VoltJockey atk(cfg, map);
-            cells[2] = cell(run_attack(atk, rig.kernel));
-        }
-        {  // VoltJockey descending-rail (transition race through the PCU)
-            Rig rig(107);
-            auto guard = scenario.install(rig.kernel, rig.runtime, map);
-            auto enclave = rig.runtime.create_enclave("tenant", 3);
-            attack::VoltJockeyConfig cfg;
-            cfg.descending_rail = true;
-            attack::VoltJockey atk(cfg, map);
-            cells[3] = cell(run_attack(atk, rig.kernel));
-        }
-        {  // VoltPillager: hardware SVID injection, no MSR trace
-            Rig rig(108);
-            auto guard = scenario.install(rig.kernel, rig.runtime, map);
-            auto enclave = rig.runtime.create_enclave("tenant", 3);
-            attack::VoltPillager atk;
-            cells[4] = cell(run_attack(atk, rig.kernel));
-        }
-        for (const bool stepping : {false, true}) {
-            // V0LTpwn against an enclave victim (Minefield instruments it)
-            Rig rig(stepping ? 104 : 106);
-            auto guard = scenario.install(rig.kernel, rig.runtime, map);
-            sgx::Program program = sgx::make_mul_chain(0xAAAA, 0x5555, 32);
-            if (scenario.uses_minefield) {
-                defense::Minefield pass;
-                program = pass.instrument(program);
-            }
-            attack::V0ltpwnConfig cfg;
-            cfg.victim_program = program;
-            cfg.suppress_after_index = sgx::last_mul_index(program);
-            cfg.use_sgx_step = stepping;
-            attack::V0ltpwn atk(rig.runtime, cfg);
-            cells[stepping ? 6 : 5] = cell(run_attack(atk, rig.kernel));
-        }
-
-        Rig rig(105);
-        auto guard = scenario.install(rig.kernel, rig.runtime, map);
-        auto enclave = rig.runtime.create_enclave("tenant", 3);
-        const std::string benign = benign_undervolt_verdict(rig);
-
-        table.add_row({scenario.name, cells[0], cells[1], cells[2], cells[3], cells[4],
-                       cells[5], cells[6], benign});
+    const std::size_t n_attacks = config.attacks.size();
+    for (std::size_t d = 0; d < config.defenses.size(); ++d) {
+        std::vector<std::string> row = {defense_row_name(config.defenses[d])};
+        for (std::size_t a = 0; a < n_attacks; ++a)
+            row.push_back(report.cells[d * n_attacks + a].verdict);
+        table.add_row(row);
     }
 
     std::printf("%s\n", table.render().c_str());
@@ -235,6 +108,10 @@ int main() {
         "   sub-interval burst.  The maximal-safe policy (and the vendor deployments)\n"
         "   close the race by construction - exactly why Sec. 5 introduces it.\n"
         " - Minefield deflects the in-enclave fault but is bypassed by zero-stepping\n"
-        "   (Sec. 4.1), and never protected the non-SGX attack surface at all.\n");
+        "   (Sec. 4.1), and never protected the non-SGX attack surface at all.\n"
+        " - Replay any cell bit-exactly: campaign_demo --replay 0x%" PRIx64
+        ":<cell> (cell index\n"
+        "   from CAMPAIGN_report.csv; this bench is the Comet Lake plane of that cube).\n",
+        report.seed);
     return 0;
 }

@@ -1,0 +1,44 @@
+// PlugVolt — benign-undervolt usability probe, in Attack clothing.
+//
+// The paper's differentiator against access-control defenses is not an
+// attack at all: while an enclave is loaded, can a *benign* non-SGX
+// process still use safe undervolting?  Modeling the probe as an
+// attack::Attack lets the campaign engine run it through the identical
+// cell machinery (defense installed, auditor attached, fingerprinted),
+// one column of the matrix among the real attacks.
+//
+// Verdicts (in AttackResult::weaponization):
+//   "full"    — both the shallow (-40 mV) and deep (-100 mV) safe
+//               undervolts land;
+//   "clamped" — the shallow one lands, the deep one is limited to the
+//               maximal safe state (Sec. 5 deployments);
+//   "DENIED"  — the OCM is blocked outright (Intel SA-00289).
+// The probe never faults and never weaponizes anything.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace pv::campaign {
+
+struct BenignUndervoltConfig {
+    Megahertz pin_freq = from_ghz(1.2);
+    Millivolts shallow{-40.0};
+    Millivolts deep{-100.0};
+    /// Residual tolerance when checking the applied offset reached the
+    /// request (the regulator settles asymptotically).
+    Millivolts tolerance{5.0};
+    unsigned core = 0;
+};
+
+class BenignUndervolt final : public attack::Attack {
+public:
+    explicit BenignUndervolt(BenignUndervoltConfig config = {});
+
+    [[nodiscard]] std::string_view name() const override { return "benign-undervolt"; }
+    [[nodiscard]] attack::AttackResult run(os::Kernel& kernel) override;
+
+private:
+    BenignUndervoltConfig config_;
+};
+
+}  // namespace pv::campaign

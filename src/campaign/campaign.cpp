@@ -1,0 +1,424 @@
+#include "campaign/campaign.hpp"
+
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "attacks/plundervolt.hpp"
+#include "attacks/v0ltpwn.hpp"
+#include "attacks/voltjockey.hpp"
+#include "attacks/voltpillager.hpp"
+#include "campaign/benign_probe.hpp"
+#include "campaign/report.hpp"
+#include "check/assert.hpp"
+#include "check/msr_auditor.hpp"
+#include "check/state_hasher.hpp"
+#include "defenses/access_control.hpp"
+#include "defenses/minefield.hpp"
+#include "plugvolt/parallel_characterizer.hpp"
+#include "plugvolt/plugvolt.hpp"
+#include "sgx/runtime.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pv::campaign {
+namespace {
+
+/// Seed-stream tags, so the per-cell machine seeds, the per-profile
+/// characterization seeds and the attacks' private RNG seeds never
+/// collide on one mix level.
+constexpr std::uint64_t kMapSeedTag = 0xC0DE'0001;
+constexpr std::uint64_t kAttackRngTag = 0xC0DE'0002;
+
+/// Everything one cell holds alive while its attack runs.  Member order
+/// is teardown order in reverse: the machine must outlive every consumer.
+struct CellRig {
+    CellRig(const sim::CpuProfile& profile, std::uint64_t seed)
+        : machine(profile, seed), kernel(machine), runtime(kernel) {}
+
+    sim::Machine machine;
+    os::Kernel kernel;
+    sgx::SgxRuntime runtime;
+    std::unique_ptr<plugvolt::Protector> protector;
+    std::shared_ptr<plugvolt::PollingModule> bare_module;
+    std::unique_ptr<defense::AccessControl> access_control;
+    std::unique_ptr<check::MsrAuditor> auditor;
+    std::unique_ptr<sgx::Enclave> tenant;
+
+    /// Live polling module of whichever deployment installed one.
+    [[nodiscard]] const plugvolt::PollingModule* polling_module() const {
+        if (bare_module) return bare_module.get();
+        if (protector) return protector->polling_module();
+        return nullptr;
+    }
+};
+
+void install_defense(CellRig& rig, DefenseKind kind, const plugvolt::SafeStateMap& map) {
+    plugvolt::PollingConfig cfg;
+    switch (kind) {
+        case DefenseKind::None:
+        case DefenseKind::Minefield:  // applied at victim compile time
+            return;
+        case DefenseKind::PollingNoRailWatch:
+            rig.bare_module = std::make_shared<plugvolt::PollingModule>(map, cfg);
+            rig.kernel.load_module(rig.bare_module);
+            return;
+        case DefenseKind::PollingSafeLimit:
+            rig.protector = std::make_unique<plugvolt::Protector>(rig.kernel, map);
+            rig.protector->deploy(plugvolt::DeploymentLevel::KernelModule);
+            return;
+        case DefenseKind::PollingMaximalSafe:
+            cfg.restore = plugvolt::RestorePolicy::ClampToMaximalSafe;
+            rig.protector = std::make_unique<plugvolt::Protector>(rig.kernel, map);
+            rig.protector->deploy(plugvolt::DeploymentLevel::KernelModule, cfg);
+            return;
+        case DefenseKind::PollingRestoreZero:
+            cfg.restore = plugvolt::RestorePolicy::RestoreZero;
+            rig.protector = std::make_unique<plugvolt::Protector>(rig.kernel, map);
+            rig.protector->deploy(plugvolt::DeploymentLevel::KernelModule, cfg);
+            return;
+        case DefenseKind::Microcode:
+            rig.protector = std::make_unique<plugvolt::Protector>(rig.kernel, map);
+            rig.protector->deploy(plugvolt::DeploymentLevel::Microcode);
+            return;
+        case DefenseKind::MsrClamp:
+            rig.protector = std::make_unique<plugvolt::Protector>(rig.kernel, map);
+            rig.protector->deploy(plugvolt::DeploymentLevel::HardwareMsr);
+            return;
+        case DefenseKind::AccessControl:
+            rig.access_control =
+                std::make_unique<defense::AccessControl>(rig.machine, rig.runtime);
+            rig.access_control->install();
+            return;
+    }
+}
+
+[[nodiscard]] bool is_v0ltpwn(AttackKind kind) {
+    return kind == AttackKind::V0ltpwn || kind == AttackKind::V0ltpwnSgxStep;
+}
+
+std::unique_ptr<attack::Attack> make_attack(CellRig& rig, const CellSpec& spec,
+                                            const AttackTuning& tuning,
+                                            const plugvolt::SafeStateMap& map) {
+    switch (spec.attack) {
+        case AttackKind::Plundervolt: {
+            attack::PlundervoltConfig cfg;
+            cfg.scan_step = tuning.scan_step;
+            cfg.probe_ops = tuning.probe_ops;
+            cfg.max_crashes = tuning.max_crashes;
+            cfg.rng_seed = mix_seed(spec.seed, kAttackRngTag);
+            return std::make_unique<attack::Plundervolt>(cfg);
+        }
+        case AttackKind::VoltJockey:
+        case AttackKind::VoltJockeyPrecise:
+        case AttackKind::VoltJockeyDescending: {
+            attack::VoltJockeyConfig cfg;
+            cfg.scan_step = tuning.scan_step;
+            cfg.probe_ops = tuning.probe_ops;
+            cfg.max_crashes = tuning.max_crashes;
+            cfg.precise_step = spec.attack == AttackKind::VoltJockeyPrecise;
+            cfg.descending_rail = spec.attack == AttackKind::VoltJockeyDescending;
+            if (spec.attack == AttackKind::VoltJockey)
+                return std::make_unique<attack::VoltJockey>(cfg);
+            // The map-driven variants carry the attacker's own
+            // characterization — the search space is open to adversaries
+            // too (same map; an attacker would measure the same physics).
+            return std::make_unique<attack::VoltJockey>(cfg, map);
+        }
+        case AttackKind::VoltPillager: {
+            attack::VoltPillagerConfig cfg;
+            cfg.scan_step = tuning.scan_step * 2.0;  // published 2x-coarser ratio
+            cfg.probe_ops = tuning.probe_ops;
+            cfg.max_crashes = tuning.max_crashes;
+            return std::make_unique<attack::VoltPillager>(cfg);
+        }
+        case AttackKind::V0ltpwn:
+        case AttackKind::V0ltpwnSgxStep: {
+            attack::V0ltpwnConfig cfg;
+            // The published campaign pins a chosen P-state, not the
+            // maximum: the attacker (who holds the same characterization
+            // the defender does) picks the frequency whose fault-onset to
+            // crash window is widest, maximizing faultable-but-alive
+            // dwell time for the stepped enclave runs.
+            double best_window_mv = 0.0;
+            for (const plugvolt::FreqCharacterization& row : map.rows()) {
+                if (row.fault_free) continue;
+                const double window_mv = row.onset.value() - row.crash.value();
+                if (window_mv > best_window_mv) {
+                    best_window_mv = window_mv;
+                    cfg.pin_freq = row.freq;
+                }
+            }
+            sgx::Program program = sgx::make_mul_chain(0xAAAA, 0x5555, 32);
+            if (spec.defense == DefenseKind::Minefield) {
+                defense::Minefield pass;
+                program = pass.instrument(program);
+            }
+            cfg.victim_program = program;
+            cfg.suppress_after_index = sgx::last_mul_index(program);
+            cfg.use_sgx_step = spec.attack == AttackKind::V0ltpwnSgxStep;
+            cfg.scan_step = tuning.scan_step;
+            cfg.runs_per_offset = tuning.runs_per_offset;
+            cfg.max_crashes = tuning.max_crashes;
+            return std::make_unique<attack::V0ltpwn>(rig.runtime, cfg);
+        }
+        case AttackKind::BenignUndervolt:
+            return std::make_unique<BenignUndervolt>();
+    }
+    throw ConfigError("unknown attack kind");
+}
+
+std::string verdict_of(const CellSpec& spec, const attack::AttackResult& r) {
+    if (spec.attack == AttackKind::BenignUndervolt) return r.weaponization;
+    if (r.weaponized) return "BROKEN (" + std::to_string(r.faults_observed) + " faults)";
+    if (r.faults_observed > 0)
+        return "faults leaked (" + std::to_string(r.faults_observed) + ")";
+    return "blocked";
+}
+
+}  // namespace
+
+const char* to_string(AttackKind kind) {
+    switch (kind) {
+        case AttackKind::Plundervolt: return "plundervolt";
+        case AttackKind::VoltJockey: return "voltjockey";
+        case AttackKind::VoltJockeyPrecise: return "voltjockey-precise";
+        case AttackKind::VoltJockeyDescending: return "voltjockey-descending";
+        case AttackKind::VoltPillager: return "voltpillager";
+        case AttackKind::V0ltpwn: return "v0ltpwn";
+        case AttackKind::V0ltpwnSgxStep: return "v0ltpwn-sgxstep";
+        case AttackKind::BenignUndervolt: return "benign-undervolt";
+    }
+    return "?";
+}
+
+const char* to_string(DefenseKind kind) {
+    switch (kind) {
+        case DefenseKind::None: return "none";
+        case DefenseKind::PollingNoRailWatch: return "polling-no-rail-watch";
+        case DefenseKind::PollingSafeLimit: return "polling-safe-limit";
+        case DefenseKind::PollingMaximalSafe: return "polling-maximal-safe";
+        case DefenseKind::PollingRestoreZero: return "polling-restore-zero";
+        case DefenseKind::Microcode: return "microcode";
+        case DefenseKind::MsrClamp: return "msr-clamp";
+        case DefenseKind::AccessControl: return "access-control";
+        case DefenseKind::Minefield: return "minefield";
+    }
+    return "?";
+}
+
+const std::vector<AttackKind>& all_attacks() {
+    static const std::vector<AttackKind> kinds = {
+        AttackKind::Plundervolt,         AttackKind::VoltJockey,
+        AttackKind::VoltJockeyPrecise,   AttackKind::VoltJockeyDescending,
+        AttackKind::VoltPillager,        AttackKind::V0ltpwn,
+        AttackKind::V0ltpwnSgxStep,      AttackKind::BenignUndervolt,
+    };
+    return kinds;
+}
+
+const std::vector<DefenseKind>& all_defenses() {
+    static const std::vector<DefenseKind> kinds = {
+        DefenseKind::None,
+        DefenseKind::PollingNoRailWatch,
+        DefenseKind::PollingSafeLimit,
+        DefenseKind::PollingMaximalSafe,
+        DefenseKind::PollingRestoreZero,
+        DefenseKind::Microcode,
+        DefenseKind::MsrClamp,
+        DefenseKind::AccessControl,
+        DefenseKind::Minefield,
+    };
+    return kinds;
+}
+
+std::uint64_t fingerprint(const CampaignCellResult& cell) {
+    check::StateHasher hasher;
+    hasher.mix(static_cast<std::uint64_t>(cell.spec.index));
+    hasher.mix(static_cast<std::uint64_t>(cell.spec.attack));
+    hasher.mix(static_cast<std::uint64_t>(cell.spec.defense));
+    hasher.mix(static_cast<std::uint64_t>(cell.spec.profile_index));
+    hasher.mix(cell.spec.seed);
+    hasher.mix(std::string_view(cell.profile_name));
+    const attack::AttackResult& r = cell.attack_result;
+    hasher.mix(std::string_view(r.attack_name));
+    hasher.mix(r.faults_observed);
+    hasher.mix(r.weaponized);
+    hasher.mix(std::string_view(r.weaponization));
+    hasher.mix(static_cast<std::uint64_t>(r.crashes));
+    hasher.mix(r.writes_attempted);
+    hasher.mix(r.writes_effective);
+    hasher.mix(r.started.value());
+    hasher.mix(r.finished.value());
+    hasher.mix(std::string_view(r.notes));
+    hasher.mix(cell.polling.has_value());
+    if (cell.polling) {
+        hasher.mix(cell.polling->polls);
+        hasher.mix(cell.polling->detections);
+        hasher.mix(cell.polling->restore_writes);
+        hasher.mix(cell.polling->freq_drops);
+        hasher.mix(cell.polling->rail_watch_detections);
+        hasher.mix(cell.polling->last_detection.value());
+    }
+    hasher.mix(cell.audit_violations);
+    hasher.mix(cell.audited_accesses);
+    hasher.mix(cell.machine_state_hash);
+    hasher.mix(static_cast<std::uint64_t>(cell.attempts));
+    hasher.mix(static_cast<std::uint64_t>(cell.machine_rebuilds));
+    hasher.mix(std::string_view(cell.verdict));
+    return hasher.digest();
+}
+
+CampaignEngine::CampaignEngine(CampaignConfig config) : config_(std::move(config)) {
+    if (config_.attacks.empty() || config_.defenses.empty() || config_.profiles.empty())
+        throw ConfigError("campaign cube must have at least one attack, defense and profile");
+    if (config_.max_attempts == 0)
+        throw ConfigError("campaign max_attempts must be at least 1");
+    if (config_.workers == 0) config_.workers = ThreadPool::default_worker_count();
+    maps_.resize(config_.profiles.size());
+}
+
+CampaignEngine::~CampaignEngine() = default;
+
+std::vector<CellSpec> CampaignEngine::cells() const {
+    std::vector<CellSpec> specs;
+    specs.reserve(config_.profiles.size() * config_.defenses.size() * config_.attacks.size());
+    std::size_t index = 0;
+    for (std::size_t p = 0; p < config_.profiles.size(); ++p)
+        for (const DefenseKind defense : config_.defenses)
+            for (const AttackKind attack : config_.attacks) {
+                specs.push_back(CellSpec{
+                    .index = index,
+                    .attack = attack,
+                    .defense = defense,
+                    .profile_index = p,
+                    .seed = mix_seed(config_.seed, index),
+                });
+                ++index;
+            }
+    return specs;
+}
+
+const plugvolt::SafeStateMap& CampaignEngine::map_for(std::size_t profile_index) {
+    PV_ASSERT(profile_index < maps_.size(),
+              "profile index " << profile_index << " outside the cube's "
+                               << maps_.size() << " profiles");
+    if (!maps_[profile_index]) {
+        plugvolt::ParallelCharacterizerConfig pc;
+        pc.cell.offset_step = config_.char_step;
+        pc.workers = config_.workers;
+        pc.seed = mix_seed(config_.seed, kMapSeedTag + profile_index);
+        plugvolt::ParallelCharacterizer characterizer(config_.profiles[profile_index], pc);
+        maps_[profile_index] =
+            std::make_unique<plugvolt::SafeStateMap>(characterizer.characterize());
+    }
+    return *maps_[profile_index];
+}
+
+void CampaignEngine::prepare_maps() {
+    for (std::size_t p = 0; p < config_.profiles.size(); ++p) (void)map_for(p);
+}
+
+CampaignCellResult CampaignEngine::run_cell(const CellSpec& spec) {
+    PV_ASSERT(spec.profile_index < config_.profiles.size(),
+              "cell profile index " << spec.profile_index << " out of range");
+    const sim::CpuProfile& profile = config_.profiles[spec.profile_index];
+    const plugvolt::SafeStateMap& map = map_for(spec.profile_index);
+
+    CampaignCellResult out;
+    out.spec = spec;
+    out.profile_name = profile.name;
+
+    for (unsigned attempt = 0; attempt < config_.max_attempts; ++attempt) {
+        // Attempt seeds derive from the cell seed, so the retry loop is
+        // as deterministic as the first try: a cell that dies on attempt
+        // 0 dies identically on every replay, and its attempt-1 outcome
+        // is a pure function of (config, cell) too.
+        CellRig rig(profile, mix_seed(spec.seed, attempt));
+        install_defense(rig, spec.defense, map);
+        if (config_.audit) {
+            check::MsrAuditorConfig audit_cfg;
+            audit_cfg.map = &map;
+            rig.auditor = std::make_unique<check::MsrAuditor>(rig.kernel, audit_cfg);
+        }
+        // Non-enclave attacks still run against a platform hosting an
+        // enclave: that is what arms AccessControl and what the benign
+        // probe's "while an enclave is loaded" clause means.  The
+        // V0LTpwn campaigns create their own victim enclave.
+        if (!is_v0ltpwn(spec.attack))
+            rig.tenant = rig.runtime.create_enclave("tenant", profile.core_count - 1);
+
+        std::unique_ptr<attack::Attack> atk = make_attack(rig, spec, config_.tuning, map);
+        bool dead = false;
+        try {
+            out.attack_result = atk->run(rig.kernel);
+            dead = rig.machine.crashed();
+        } catch (const Error& e) {
+            // A simulator error mid-campaign is the software analogue of
+            // the machine dying under the attacker: rebuild and retry.
+            out.attack_result = {};
+            out.attack_result.attack_name = std::string(atk->name());
+            out.attack_result.notes = std::string("attempt aborted: ") + e.what();
+            dead = true;
+        }
+
+        out.attempts = attempt + 1;
+        if (const plugvolt::PollingModule* module = rig.polling_module())
+            out.polling = module->metrics();
+        else
+            out.polling.reset();
+        if (rig.auditor) {
+            out.audit_violations = rig.auditor->violations().size();
+            out.audited_accesses = rig.auditor->audited_accesses();
+        }
+        out.machine_state_hash = rig.machine.state_hash();
+        out.verdict = verdict_of(spec, out.attack_result);
+
+        if (!dead) break;
+        ++out.machine_rebuilds;
+        if (attempt + 1 == config_.max_attempts) {
+            out.verdict += " [machine dead after " + std::to_string(out.attempts) +
+                           " attempts]";
+            break;
+        }
+    }
+    return out;
+}
+
+CampaignReport CampaignEngine::run(
+    const std::function<void(const CampaignCellResult&)>& progress) {
+    // Characterize every profile up front, serially: the sharded cells
+    // below only ever read the cache, so no lock is needed.
+    prepare_maps();
+
+    const std::vector<CellSpec> specs = cells();
+    CampaignReport report;
+    report.seed = config_.seed;
+    report.n_attacks = config_.attacks.size();
+    report.n_defenses = config_.defenses.size();
+    report.n_profiles = config_.profiles.size();
+    report.cells.reserve(specs.size());
+
+    if (config_.workers <= 1) {
+        // The single-thread reference execution: cells inline, in order.
+        for (const CellSpec& spec : specs) {
+            report.cells.push_back(run_cell(spec));
+            if (progress) progress(report.cells.back());
+        }
+        return report;
+    }
+
+    ThreadPool pool(config_.workers);
+    std::vector<std::future<CampaignCellResult>> futures;
+    futures.reserve(specs.size());
+    for (const CellSpec& spec : specs)
+        futures.push_back(pool.submit([this, spec] { return run_cell(spec); }));
+    for (auto& future : futures) {
+        report.cells.push_back(future.get());  // rethrows worker exceptions
+        if (progress) progress(report.cells.back());
+    }
+    return report;
+}
+
+}  // namespace pv::campaign

@@ -1,0 +1,126 @@
+#include "campaign/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "check/state_hasher.hpp"
+
+namespace pv::campaign {
+namespace {
+
+std::string hex64(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::uint64_t CampaignReport::fingerprint() const {
+    check::StateHasher hasher;
+    hasher.mix(seed);
+    hasher.mix(static_cast<std::uint64_t>(cells.size()));
+    for (const CampaignCellResult& cell : cells) hasher.mix(campaign::fingerprint(cell));
+    return hasher.digest();
+}
+
+std::size_t CampaignReport::weaponized_count() const {
+    std::size_t n = 0;
+    for (const CampaignCellResult& cell : cells)
+        if (cell.attack_result.weaponized) ++n;
+    return n;
+}
+
+std::string CampaignReport::to_csv() const {
+    std::ostringstream out;
+    out << "index,profile,attack,defense,cell_seed,verdict,faults,weaponized,crashes,"
+           "attempts,machine_rebuilds,writes_attempted,writes_effective,polls,"
+           "detections,restore_writes,freq_drops,rail_watch_detections,"
+           "audit_violations,audited_accesses,machine_state_hash,fingerprint\n";
+    for (const CampaignCellResult& cell : cells) {
+        const attack::AttackResult& r = cell.attack_result;
+        out << cell.spec.index << ',' << cell.profile_name << ','
+            << to_string(cell.spec.attack) << ',' << to_string(cell.spec.defense) << ','
+            << hex64(cell.spec.seed) << ',' << cell.verdict << ',' << r.faults_observed
+            << ',' << (r.weaponized ? 1 : 0) << ',' << r.crashes << ',' << cell.attempts
+            << ',' << cell.machine_rebuilds << ',' << r.writes_attempted << ','
+            << r.writes_effective << ',';
+        if (cell.polling) {
+            out << cell.polling->polls << ',' << cell.polling->detections << ','
+                << cell.polling->restore_writes << ',' << cell.polling->freq_drops << ','
+                << cell.polling->rail_watch_detections << ',';
+        } else {
+            out << ",,,,,";
+        }
+        out << cell.audit_violations << ',' << cell.audited_accesses << ','
+            << hex64(cell.machine_state_hash) << ',' << hex64(campaign::fingerprint(cell))
+            << '\n';
+    }
+    return out.str();
+}
+
+std::string CampaignReport::to_json() const {
+    std::ostringstream out;
+    out << "{\n  \"seed\": " << seed << ",\n  \"attacks\": " << n_attacks
+        << ",\n  \"defenses\": " << n_defenses << ",\n  \"profiles\": " << n_profiles
+        << ",\n  \"fingerprint\": \"" << hex64(fingerprint()) << "\",\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CampaignCellResult& cell = cells[i];
+        const attack::AttackResult& r = cell.attack_result;
+        out << "    {\"index\": " << cell.spec.index << ", \"profile\": \""
+            << json_escape(cell.profile_name) << "\", \"attack\": \""
+            << to_string(cell.spec.attack) << "\", \"defense\": \""
+            << to_string(cell.spec.defense) << "\", \"cell_seed\": \""
+            << hex64(cell.spec.seed) << "\", \"verdict\": \"" << json_escape(cell.verdict)
+            << "\", \"faults\": " << r.faults_observed
+            << ", \"weaponized\": " << (r.weaponized ? "true" : "false")
+            << ", \"weaponization\": \"" << json_escape(r.weaponization)
+            << "\", \"crashes\": " << r.crashes << ", \"attempts\": " << cell.attempts
+            << ", \"machine_rebuilds\": " << cell.machine_rebuilds
+            << ", \"writes_attempted\": " << r.writes_attempted
+            << ", \"writes_effective\": " << r.writes_effective;
+        if (cell.polling) {
+            out << ", \"polls\": " << cell.polling->polls
+                << ", \"detections\": " << cell.polling->detections
+                << ", \"restore_writes\": " << cell.polling->restore_writes
+                << ", \"freq_drops\": " << cell.polling->freq_drops
+                << ", \"rail_watch_detections\": " << cell.polling->rail_watch_detections;
+        }
+        out << ", \"audit_violations\": " << cell.audit_violations
+            << ", \"audited_accesses\": " << cell.audited_accesses
+            << ", \"machine_state_hash\": \"" << hex64(cell.machine_state_hash)
+            << "\", \"fingerprint\": \"" << hex64(campaign::fingerprint(cell)) << "\"}"
+            << (i + 1 < cells.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+std::string CampaignReport::write_csv(const std::string& path) const {
+    std::ofstream out(path);
+    out << to_csv();
+    return path;
+}
+
+std::string CampaignReport::write_json(const std::string& path) const {
+    std::ofstream out(path);
+    out << to_json();
+    return path;
+}
+
+}  // namespace pv::campaign

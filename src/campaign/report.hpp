@@ -1,0 +1,44 @@
+// PlugVolt — campaign report: the serialized outcome of one cube run.
+//
+// Two formats, one source of truth:
+//   - CSV: one row per cell, flat columns — the diff-friendly artifact
+//     committed next to bench output and consumed by the matrix bench's
+//     table renderer;
+//   - JSON: the same cells nested under the campaign's identity (seed,
+//     cube dimensions, combined fingerprint) — the machine-readable
+//     artifact CI archives.
+// The combined fingerprint mixes every cell fingerprint in enumeration
+// order; two reports with equal fingerprints describe bit-identical
+// campaigns (the differential test's single comparison).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace pv::campaign {
+
+struct CampaignReport {
+    std::uint64_t seed = 0;
+    std::size_t n_attacks = 0;
+    std::size_t n_defenses = 0;
+    std::size_t n_profiles = 0;
+    std::vector<CampaignCellResult> cells;  ///< enumeration order
+
+    /// Combined fingerprint over all cell fingerprints, in order.
+    [[nodiscard]] std::uint64_t fingerprint() const;
+
+    /// Cells whose attack extracted something useful.
+    [[nodiscard]] std::size_t weaponized_count() const;
+
+    [[nodiscard]] std::string to_csv() const;
+    [[nodiscard]] std::string to_json() const;
+
+    /// Write to `path`, overwriting.  Returns the path.
+    std::string write_csv(const std::string& path) const;
+    std::string write_json(const std::string& path) const;
+};
+
+}  // namespace pv::campaign

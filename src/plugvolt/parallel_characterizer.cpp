@@ -9,22 +9,10 @@
 #include "check/assert.hpp"
 #include "os/kernel.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pv::plugvolt {
-namespace {
-
-// splitmix64 finalizer: derives statistically independent child seeds
-// from (parent, index) pairs — the same construction Rng uses to expand
-// one seed into its state words.
-std::uint64_t mix_seed(std::uint64_t parent, std::uint64_t index) {
-    std::uint64_t z = parent + 0x9E3779B97F4A7C15ULL * (index + 1);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    return z ^ (z >> 31);
-}
-
-}  // namespace
 
 const char* to_string(SweepMode mode) {
     switch (mode) {

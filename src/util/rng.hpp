@@ -11,6 +11,19 @@
 
 namespace pv {
 
+/// splitmix64 finalizer over a (parent, index) pair: derives
+/// statistically independent child seeds from one root seed — the
+/// construction Rng uses to expand a seed into its state words, shared
+/// by every deterministic sharded driver (the parallel characterization
+/// sweep's per-row/per-cell seeds, the campaign engine's per-cell and
+/// per-attempt seeds).
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t parent, std::uint64_t index) {
+    std::uint64_t z = parent + 0x9E3779B97F4A7C15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
 /// Deterministic 64-bit PRNG (xoshiro256**).
 class Rng {
 public:

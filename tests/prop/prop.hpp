@@ -1,0 +1,281 @@
+// PlugVolt — header-only seeded property-based testing harness.
+//
+// The simulator's algebraic layers (mailbox encoding, safe-state map
+// queries, state hashing) have contracts that hold over whole value
+// domains, not just the handful of examples unit tests pin.  This
+// harness checks such contracts over seeded random samples and, on
+// failure, shrinks the counterexample toward each domain's origin so
+// the report names the simplest failing input.
+//
+// Usage:
+//
+//   PROP_CHECK(0xSEED, 500,
+//              [](std::int64_t bit, Millivolts off) { return ...; },
+//              prop::IntDomain{0, 63}, prop::OffsetDomain{-300.0, 0.0});
+//
+// Everything is deterministic in the seed: case c draws its values from
+// Rng(mix_seed(seed, c)), so a falsified property reproduces bit-exactly
+// from the seed printed in the failure message.
+//
+// A domain supplies four things:
+//   using value_type = ...;
+//   value_type generate(Rng&) const;            // one sample
+//   std::vector<value_type> shrinks(v) const;   // simpler candidates, best first
+//   std::string show(v) const;                  // for failure messages
+//
+// Shrinking is greedy and component-wise: each pass tries every
+// component's candidates in order and restarts after the first one that
+// still falsifies the property, until a fixpoint (or the evaluation
+// budget runs out).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pv::prop {
+
+/// Outcome of a for_all run; PROP_CHECK turns it into a gtest assertion.
+struct Result {
+    bool ok = true;
+    std::string message;
+};
+
+namespace detail {
+
+/// Candidate indices moving `k` toward `origin`: the origin itself, the
+/// halfway point, and one adjacent step — the classic bisecting shrink.
+inline std::vector<std::uint64_t> shrink_index(std::uint64_t k, std::uint64_t origin) {
+    std::vector<std::uint64_t> out;
+    if (k == origin) return out;
+    out.push_back(origin);
+    const std::int64_t delta = static_cast<std::int64_t>(k) - static_cast<std::int64_t>(origin);
+    const std::uint64_t mid = k - static_cast<std::uint64_t>(delta / 2);
+    if (mid != k && mid != origin) out.push_back(mid);
+    const std::uint64_t adjacent = delta > 0 ? k - 1 : k + 1;
+    if (adjacent != origin && adjacent != mid) out.push_back(adjacent);
+    return out;
+}
+
+inline std::string format_double(double v, const char* unit) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%g %s", v, unit);
+    return buf;
+}
+
+}  // namespace detail
+
+/// Integers in the inclusive range [lo, hi]; shrinks toward 0 when the
+/// range contains it, else toward lo.
+struct IntDomain {
+    using value_type = std::int64_t;
+    std::int64_t lo = 0;
+    std::int64_t hi = 100;
+
+    [[nodiscard]] value_type generate(Rng& rng) const {
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(rng.uniform_below(span));
+    }
+    [[nodiscard]] std::vector<value_type> shrinks(value_type v) const {
+        const value_type origin = (lo <= 0 && 0 <= hi) ? 0 : lo;
+        std::vector<value_type> out;
+        for (const std::uint64_t k : detail::shrink_index(
+                 static_cast<std::uint64_t>(v - lo), static_cast<std::uint64_t>(origin - lo)))
+            out.push_back(lo + static_cast<std::int64_t>(k));
+        return out;
+    }
+    [[nodiscard]] std::string show(value_type v) const { return std::to_string(v); }
+};
+
+/// Voltage offsets on the lattice {lo + k*step : 0 <= k <= (hi-lo)/step},
+/// in millivolts; shrinks toward the value closest to 0 mV (for an
+/// undervolt domain [-300, 0] that is the harmless null offset).
+struct OffsetDomain {
+    using value_type = Millivolts;
+    double lo_mv = -300.0;
+    double hi_mv = 0.0;
+    double step_mv = 0.5;
+
+    [[nodiscard]] std::uint64_t lattice_size() const {
+        return static_cast<std::uint64_t>((hi_mv - lo_mv) / step_mv + 0.5) + 1;
+    }
+    [[nodiscard]] std::uint64_t origin_index() const {
+        const double k = -lo_mv / step_mv;  // index of 0 mV, possibly off-lattice
+        if (k <= 0.0) return 0;
+        const auto n = lattice_size() - 1;
+        const auto rounded = static_cast<std::uint64_t>(k + 0.5);
+        return rounded > n ? n : rounded;
+    }
+    [[nodiscard]] value_type at(std::uint64_t k) const {
+        return Millivolts{lo_mv + step_mv * static_cast<double>(k)};
+    }
+    [[nodiscard]] std::uint64_t index_of(value_type v) const {
+        return static_cast<std::uint64_t>((v.value() - lo_mv) / step_mv + 0.5);
+    }
+    [[nodiscard]] value_type generate(Rng& rng) const {
+        return at(rng.uniform_below(lattice_size()));
+    }
+    [[nodiscard]] std::vector<value_type> shrinks(value_type v) const {
+        std::vector<value_type> out;
+        for (const std::uint64_t k : detail::shrink_index(index_of(v), origin_index()))
+            out.push_back(at(k));
+        return out;
+    }
+    [[nodiscard]] std::string show(value_type v) const {
+        return detail::format_double(v.value(), "mV");
+    }
+};
+
+/// Frequencies on the lattice {lo + k*step : 0 <= k <= (hi-lo)/step}, in
+/// megahertz; shrinks toward the lowest frequency (the safe direction).
+struct FrequencyDomain {
+    using value_type = Megahertz;
+    double lo_mhz = 400.0;
+    double hi_mhz = 4900.0;
+    double step_mhz = 100.0;
+
+    [[nodiscard]] std::uint64_t lattice_size() const {
+        return static_cast<std::uint64_t>((hi_mhz - lo_mhz) / step_mhz + 0.5) + 1;
+    }
+    [[nodiscard]] value_type at(std::uint64_t k) const {
+        return Megahertz{lo_mhz + step_mhz * static_cast<double>(k)};
+    }
+    [[nodiscard]] std::uint64_t index_of(value_type v) const {
+        return static_cast<std::uint64_t>((v.value() - lo_mhz) / step_mhz + 0.5);
+    }
+    [[nodiscard]] value_type generate(Rng& rng) const {
+        return at(rng.uniform_below(lattice_size()));
+    }
+    [[nodiscard]] std::vector<value_type> shrinks(value_type v) const {
+        std::vector<value_type> out;
+        for (const std::uint64_t k : detail::shrink_index(index_of(v), 0))
+            out.push_back(at(k));
+        return out;
+    }
+    [[nodiscard]] std::string show(value_type v) const {
+        return detail::format_double(v.value(), "MHz");
+    }
+};
+
+/// Uniform choice from a fixed list; shrinks toward the first element.
+template <typename T>
+struct ElementOf {
+    using value_type = T;
+    std::vector<T> items;
+    /// Renders an element for failure messages (index fallback).
+    std::string (*show_fn)(const T&) = nullptr;
+
+    [[nodiscard]] value_type generate(Rng& rng) const {
+        return items[rng.uniform_below(items.size())];
+    }
+    [[nodiscard]] std::uint64_t index_of(const T& v) const {
+        for (std::size_t i = 0; i < items.size(); ++i)
+            if (items[i] == v) return i;
+        return 0;
+    }
+    [[nodiscard]] std::vector<value_type> shrinks(const T& v) const {
+        std::vector<value_type> out;
+        for (const std::uint64_t k : detail::shrink_index(index_of(v), 0))
+            out.push_back(items[k]);
+        return out;
+    }
+    [[nodiscard]] std::string show(const T& v) const {
+        if (show_fn) return show_fn(v);
+        return "items[" + std::to_string(index_of(v)) + "]";
+    }
+};
+
+namespace detail {
+
+template <typename Prop, typename ValTuple, std::size_t... Is>
+bool invoke(const Prop& prop, const ValTuple& values, std::index_sequence<Is...>) {
+    return prop(std::get<Is>(values)...);
+}
+
+template <std::size_t I, typename Prop, typename DomTuple, typename ValTuple>
+bool shrink_component(const Prop& prop, const DomTuple& doms, ValTuple& values,
+                      std::size_t& budget) {
+    for (const auto& candidate : std::get<I>(doms).shrinks(std::get<I>(values))) {
+        if (budget == 0) return false;
+        --budget;
+        ValTuple trial = values;
+        std::get<I>(trial) = candidate;
+        constexpr auto seq = std::make_index_sequence<std::tuple_size_v<ValTuple>>{};
+        if (!invoke(prop, trial, seq)) {
+            values = trial;  // simpler and still failing: adopt it
+            return true;
+        }
+    }
+    return false;
+}
+
+template <typename Prop, typename DomTuple, typename ValTuple, std::size_t... Is>
+bool shrink_pass(const Prop& prop, const DomTuple& doms, ValTuple& values,
+                 std::size_t& budget, std::index_sequence<Is...>) {
+    return (shrink_component<Is>(prop, doms, values, budget) || ...);
+}
+
+template <typename DomTuple, typename ValTuple, std::size_t... Is>
+std::string show_tuple(const DomTuple& doms, const ValTuple& values,
+                       std::index_sequence<Is...>) {
+    std::string out = "(";
+    std::size_t emitted = 0;
+    ((out += (emitted++ ? ", " : "") + std::get<Is>(doms).show(std::get<Is>(values))), ...);
+    return out + ")";
+}
+
+}  // namespace detail
+
+/// Check `prop` over `n_cases` seeded samples of the given domains.
+/// Deterministic in `seed`.  On falsification, greedily shrinks the
+/// counterexample (bounded by an evaluation budget) and reports both the
+/// shrunk and the originally drawn inputs.
+template <typename Prop, typename... Domains>
+Result for_all(std::uint64_t seed, int n_cases, const Prop& prop, const Domains&... domains) {
+    const auto doms = std::make_tuple(domains...);
+    constexpr auto seq = std::make_index_sequence<sizeof...(Domains)>{};
+    for (int c = 0; c < n_cases; ++c) {
+        Rng rng(mix_seed(seed, static_cast<std::uint64_t>(c)));
+        // Braced init guarantees left-to-right generation, so the draw
+        // order (and thus every value) is compiler-independent.
+        std::tuple<typename Domains::value_type...> values{domains.generate(rng)...};
+        if (detail::invoke(prop, values, seq)) continue;
+
+        const auto original = values;
+        std::size_t budget = 1000;
+        std::size_t steps = 0;
+        while (budget > 0 && detail::shrink_pass(prop, doms, values, budget, seq)) ++steps;
+
+        char head[128];
+        std::snprintf(head, sizeof head,
+                      "property falsified at case %d/%d (seed 0x%llx): ", c, n_cases,
+                      static_cast<unsigned long long>(seed));
+        std::string msg = head + detail::show_tuple(doms, values, seq);
+        if (steps > 0)
+            msg += " [shrunk " + std::to_string(steps) + " steps from " +
+                   detail::show_tuple(doms, original, seq) + "]";
+        return Result{false, msg};
+    }
+    return Result{true, {}};
+}
+
+}  // namespace pv::prop
+
+/// gtest glue: non-fatally fail with the harness's message on
+/// falsification.  The seed is part of the message, so any failure is
+/// reproducible by rerunning the same PROP_CHECK.
+// The property and domains travel through __VA_ARGS__ together: lambda
+// captures and template arguments contain top-level commas the
+// preprocessor would otherwise split across named macro parameters.
+#define PROP_CHECK(seed, n_cases, ...)                                             \
+    do {                                                                           \
+        const ::pv::prop::Result pv_prop_check_result =                            \
+            ::pv::prop::for_all((seed), (n_cases), __VA_ARGS__);                   \
+        EXPECT_TRUE(pv_prop_check_result.ok) << pv_prop_check_result.message;      \
+    } while (0)

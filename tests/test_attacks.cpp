@@ -15,11 +15,8 @@
 namespace pv::attack {
 namespace {
 
-struct Bench {
-    explicit Bench(std::uint64_t seed = 71)
-        : machine(sim::cometlake_i7_10510u(), seed), kernel(machine), runtime(kernel) {}
-    sim::Machine machine;
-    os::Kernel kernel;
+struct Bench : test::MachineRig {
+    explicit Bench(std::uint64_t seed = 71) : MachineRig(seed), runtime(kernel) {}
     sgx::SgxRuntime runtime;
 };
 
@@ -43,10 +40,9 @@ TEST(Plundervolt, WeaponizesOnUnprotectedMachine) {
 
 TEST(Plundervolt, WorksOnAllThreeGenerations) {
     for (const auto& profile : sim::paper_profiles()) {
-        sim::Machine machine(profile, 73);
-        os::Kernel kernel(machine);
+        test::MachineRig rig(profile, 73);
         Plundervolt atk;
-        const AttackResult r = atk.run(kernel);
+        const AttackResult r = atk.run(rig.kernel);
         EXPECT_TRUE(r.weaponized) << profile.codename;
     }
 }

@@ -1,0 +1,184 @@
+// Campaign engine unit tests: cube enumeration, bit-exact replay,
+// defense wiring, retry accounting, report serialization.  The full
+// sharded-vs-serial differential lives in test_determinism.cpp (the
+// concurrency suite); these stay small and fast.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "plugvolt/safe_state.hpp"
+#include "sim/cpu_profile.hpp"
+#include "util/error.hpp"
+
+namespace pv {
+namespace {
+
+campaign::AttackTuning quick_tuning() {
+    campaign::AttackTuning tuning;
+    tuning.scan_step = Millivolts{8.0};
+    tuning.probe_ops = 20'000;
+    tuning.runs_per_offset = 8;
+    return tuning;
+}
+
+campaign::CampaignConfig small_config() {
+    campaign::CampaignConfig config;
+    config.profiles = {sim::cometlake_i7_10510u()};
+    config.attacks = {campaign::AttackKind::Plundervolt, campaign::AttackKind::BenignUndervolt};
+    config.defenses = {campaign::DefenseKind::None, campaign::DefenseKind::PollingMaximalSafe};
+    config.tuning = quick_tuning();
+    config.char_step = Millivolts{10.0};
+    config.workers = 1;
+    return config;
+}
+
+TEST(Campaign, CellEnumerationCoversTheCubeInOrder) {
+    campaign::CampaignConfig config = small_config();
+    config.profiles = {sim::skylake_i5_6500(), sim::cometlake_i7_10510u()};
+    campaign::CampaignEngine engine(config);
+    const std::vector<campaign::CellSpec> specs = engine.cells();
+    ASSERT_EQ(specs.size(), 2u * 2u * 2u);
+
+    std::size_t index = 0;
+    for (std::size_t p = 0; p < 2; ++p)
+        for (std::size_t d = 0; d < 2; ++d)
+            for (std::size_t a = 0; a < 2; ++a) {
+                EXPECT_EQ(specs[index].index, index);
+                EXPECT_EQ(specs[index].profile_index, p);
+                EXPECT_EQ(specs[index].defense, config.defenses[d]);
+                EXPECT_EQ(specs[index].attack, config.attacks[a]);
+                EXPECT_EQ(specs[index].seed, mix_seed(config.seed, index));
+                ++index;
+            }
+}
+
+TEST(Campaign, ConfigValidation) {
+    campaign::CampaignConfig empty = small_config();
+    empty.attacks.clear();
+    EXPECT_THROW(campaign::CampaignEngine{empty}, ConfigError);
+
+    campaign::CampaignConfig no_attempts = small_config();
+    no_attempts.max_attempts = 0;
+    EXPECT_THROW(campaign::CampaignEngine{no_attempts}, ConfigError);
+}
+
+TEST(Campaign, RunCellReplaysBitExactly) {
+    campaign::CampaignConfig config = small_config();
+    campaign::CampaignEngine engine(config);
+    const std::vector<campaign::CellSpec> specs = engine.cells();
+    for (const campaign::CellSpec& spec : specs) {
+        const campaign::CampaignCellResult first = engine.run_cell(spec);
+        const campaign::CampaignCellResult second = engine.run_cell(spec);
+        EXPECT_EQ(campaign::fingerprint(first), campaign::fingerprint(second))
+            << "cell " << spec.index << " did not replay bit-exactly";
+        EXPECT_EQ(first.machine_state_hash, second.machine_state_hash);
+    }
+    // A fresh engine (same config) replays the same cells identically:
+    // nothing about a cell depends on engine instance state.
+    campaign::CampaignEngine other(config);
+    EXPECT_EQ(campaign::fingerprint(engine.run_cell(specs[0])),
+              campaign::fingerprint(other.run_cell(specs[0])));
+}
+
+TEST(Campaign, UndefendedPlundervoltBreaksAndMaximalSafeBlocks) {
+    campaign::CampaignConfig config = small_config();
+    campaign::CampaignEngine engine(config);
+    const campaign::CampaignReport report = engine.run();
+    ASSERT_EQ(report.cells.size(), 4u);
+
+    const campaign::CampaignCellResult& undefended = report.cells[0];
+    ASSERT_EQ(undefended.spec.attack, campaign::AttackKind::Plundervolt);
+    ASSERT_EQ(undefended.spec.defense, campaign::DefenseKind::None);
+    EXPECT_TRUE(undefended.attack_result.weaponized);
+    EXPECT_EQ(undefended.verdict.rfind("BROKEN", 0), 0u) << undefended.verdict;
+    EXPECT_FALSE(undefended.polling.has_value());
+
+    const campaign::CampaignCellResult& defended = report.cells[2];
+    ASSERT_EQ(defended.spec.defense, campaign::DefenseKind::PollingMaximalSafe);
+    EXPECT_FALSE(defended.attack_result.weaponized);
+    EXPECT_EQ(defended.verdict, "blocked");
+    ASSERT_TRUE(defended.polling.has_value());
+    EXPECT_GT(defended.polling->polls, 0u);
+
+    // The benign probe reports usability verdicts, not attack verdicts.
+    EXPECT_EQ(report.cells[1].verdict, "full");
+    const std::string& benign_defended = report.cells[3].verdict;
+    EXPECT_TRUE(benign_defended == "clamped" || benign_defended == "full")
+        << benign_defended;
+}
+
+TEST(Campaign, AuditCountersRecordWhenEnabled) {
+    campaign::CampaignConfig config = small_config();
+    config.audit = true;
+    campaign::CampaignEngine engine(config);
+    const campaign::CampaignCellResult cell = engine.run_cell(engine.cells()[0]);
+    EXPECT_GT(cell.audited_accesses, 0u);
+
+    config.audit = false;
+    campaign::CampaignEngine no_audit(config);
+    const campaign::CampaignCellResult quiet = no_audit.run_cell(no_audit.cells()[0]);
+    EXPECT_EQ(quiet.audited_accesses, 0u);
+    EXPECT_EQ(quiet.audit_violations, 0u);
+}
+
+TEST(Campaign, MapForIsDeterministicAcrossEngines) {
+    campaign::CampaignConfig config = small_config();
+    campaign::CampaignEngine a(config);
+    campaign::CampaignEngine b(config);
+    EXPECT_EQ(plugvolt::state_hash(a.map_for(0)), plugvolt::state_hash(b.map_for(0)));
+}
+
+TEST(Campaign, ReportSerializesEveryCell) {
+    campaign::CampaignConfig config = small_config();
+    campaign::CampaignEngine engine(config);
+    campaign::CampaignReport report = engine.run();
+
+    const std::string csv = report.to_csv();
+    std::size_t lines = 0;
+    for (const char c : csv)
+        if (c == '\n') ++lines;
+    EXPECT_EQ(lines, report.cells.size() + 1);  // header + one row per cell
+    EXPECT_NE(csv.find("index,profile,attack,defense"), std::string::npos);
+    EXPECT_NE(csv.find("plundervolt"), std::string::npos);
+    EXPECT_NE(csv.find("polling-maximal-safe"), std::string::npos);
+
+    const std::string json = report.to_json();
+    EXPECT_NE(json.find("\"cells\""), std::string::npos);
+    EXPECT_NE(json.find("\"fingerprint\""), std::string::npos);
+
+    // The combined fingerprint is order-sensitive and reproducible.
+    campaign::CampaignEngine again(config);
+    EXPECT_EQ(report.fingerprint(), again.run().fingerprint());
+
+    // File writers emit exactly the in-memory serializations.
+    const std::string dir = ::testing::TempDir();
+    report.write_csv(dir + "pv_campaign_report.csv");
+    report.write_json(dir + "pv_campaign_report.json");
+    std::ifstream csv_in(dir + "pv_campaign_report.csv");
+    std::stringstream csv_back;
+    csv_back << csv_in.rdbuf();
+    EXPECT_EQ(csv_back.str(), csv);
+    std::ifstream json_in(dir + "pv_campaign_report.json");
+    std::stringstream json_back;
+    json_back << json_in.rdbuf();
+    EXPECT_EQ(json_back.str(), json);
+}
+
+TEST(Campaign, AttemptSeedsAreDerivedNotShared) {
+    // Two different cells never see the same machine seed, and a cell's
+    // retry seeds differ from its first-attempt seed.
+    campaign::CampaignConfig config = small_config();
+    campaign::CampaignEngine engine(config);
+    const std::vector<campaign::CellSpec> specs = engine.cells();
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        for (std::size_t j = i + 1; j < specs.size(); ++j)
+            EXPECT_NE(specs[i].seed, specs[j].seed);
+    EXPECT_NE(mix_seed(specs[0].seed, 0), mix_seed(specs[0].seed, 1));
+}
+
+}  // namespace
+}  // namespace pv

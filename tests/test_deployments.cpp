@@ -12,7 +12,8 @@ namespace pv::plugvolt {
 namespace {
 
 TEST(MicrocodeGuard, IgnoresWritesPastMaximalSafe) {
-    sim::Machine machine(sim::cometlake_i7_10510u(), 41);
+    test::MachineRig rig(41);
+    sim::Machine& machine = rig.machine;
     MicrocodeGuard guard(machine, Millivolts{-80.0});
     guard.install();
     EXPECT_TRUE(guard.installed());
@@ -25,7 +26,8 @@ TEST(MicrocodeGuard, IgnoresWritesPastMaximalSafe) {
 }
 
 TEST(MicrocodeGuard, AllowsSafeWrites) {
-    sim::Machine machine(sim::cometlake_i7_10510u(), 42);
+    test::MachineRig rig(42);
+    sim::Machine& machine = rig.machine;
     MicrocodeGuard guard(machine, Millivolts{-80.0});
     guard.install();
     EXPECT_TRUE(machine.write_msr(
@@ -36,7 +38,8 @@ TEST(MicrocodeGuard, AllowsSafeWrites) {
 }
 
 TEST(MicrocodeGuard, OtherPlanesUnaffected) {
-    sim::Machine machine(sim::cometlake_i7_10510u(), 43);
+    test::MachineRig rig(43);
+    sim::Machine& machine = rig.machine;
     MicrocodeGuard guard(machine, Millivolts{-80.0});
     guard.install();
     EXPECT_TRUE(machine.write_msr(
@@ -44,7 +47,8 @@ TEST(MicrocodeGuard, OtherPlanesUnaffected) {
 }
 
 TEST(MicrocodeGuard, UninstallRestoresWrites) {
-    sim::Machine machine(sim::cometlake_i7_10510u(), 44);
+    test::MachineRig rig(44);
+    sim::Machine& machine = rig.machine;
     MicrocodeGuard guard(machine, Millivolts{-80.0});
     guard.install();
     guard.uninstall();
@@ -53,7 +57,8 @@ TEST(MicrocodeGuard, UninstallRestoresWrites) {
 }
 
 TEST(MicrocodeGuard, RejectsPositiveLimit) {
-    sim::Machine machine(sim::cometlake_i7_10510u(), 45);
+    test::MachineRig rig(45);
+    sim::Machine& machine = rig.machine;
     EXPECT_THROW(MicrocodeGuard(machine, Millivolts{10.0}), ConfigError);
 }
 
@@ -65,7 +70,8 @@ TEST(MsrClamp, LimitEncodingRoundTrip) {
 }
 
 TEST(MsrClamp, ClampsInsteadOfDropping) {
-    sim::Machine machine(sim::cometlake_i7_10510u(), 46);
+    test::MachineRig rig(46);
+    sim::Machine& machine = rig.machine;
     MsrClamp clamp(machine, Millivolts{-80.0});
     clamp.install();
 
@@ -78,7 +84,8 @@ TEST(MsrClamp, ClampsInsteadOfDropping) {
 }
 
 TEST(MsrClamp, ShallowWritesPassThrough) {
-    sim::Machine machine(sim::cometlake_i7_10510u(), 47);
+    test::MachineRig rig(47);
+    sim::Machine& machine = rig.machine;
     MsrClamp clamp(machine, Millivolts{-80.0});
     clamp.install();
     machine.write_msr(0, sim::kMsrOcMailbox,
@@ -89,7 +96,8 @@ TEST(MsrClamp, ShallowWritesPassThrough) {
 }
 
 TEST(MsrClamp, LockBlocksLimitRelaxation) {
-    sim::Machine machine(sim::cometlake_i7_10510u(), 48);
+    test::MachineRig rig(48);
+    sim::Machine& machine = rig.machine;
     MsrClamp clamp(machine, Millivolts{-80.0}, /*locked=*/true);
     clamp.install();
     // A privileged adversary tries to widen the limit to -500 mV.
@@ -104,7 +112,8 @@ TEST(MsrClamp, LockBlocksLimitRelaxation) {
 }
 
 TEST(MsrClamp, UnlockedLimitCanBeTightened) {
-    sim::Machine machine(sim::cometlake_i7_10510u(), 49);
+    test::MachineRig rig(49);
+    sim::Machine& machine = rig.machine;
     MsrClamp clamp(machine, Millivolts{-80.0}, /*locked=*/false);
     clamp.install();
     EXPECT_TRUE(machine.write_msr(0, sim::kMsrVoltageOffsetLimit,
@@ -116,8 +125,8 @@ TEST(MsrClamp, UnlockedLimitCanBeTightened) {
 }
 
 TEST(Protector, DeploysAndSwitchesLevels) {
-    sim::Machine machine(sim::cometlake_i7_10510u(), 50);
-    os::Kernel kernel(machine);
+    test::MachineRig rig(50);
+    os::Kernel& kernel = rig.kernel;
     Protector protector(kernel, test::comet_map());
     EXPECT_FALSE(protector.deployed());
 
@@ -140,8 +149,9 @@ TEST(Protector, DeploysAndSwitchesLevels) {
 TEST(Protector, EveryLevelStopsADeepUndervolt) {
     for (const auto level : {DeploymentLevel::KernelModule, DeploymentLevel::Microcode,
                              DeploymentLevel::HardwareMsr}) {
-        sim::Machine machine(sim::cometlake_i7_10510u(), 51);
-        os::Kernel kernel(machine);
+        test::MachineRig rig(51);
+        sim::Machine& machine = rig.machine;
+        os::Kernel& kernel = rig.kernel;
         Protector protector(kernel, test::comet_map());
         protector.deploy(level);
 
@@ -186,14 +196,14 @@ TEST(Turnaround, SingleThreadPollerPaysIpis) {
 }
 
 TEST(Turnaround, MeasuredExposureWithinAnalyticBound) {
-    sim::Machine machine(sim::cometlake_i7_10510u(), 52);
-    os::Kernel kernel(machine);
+    test::MachineRig rig(52);
+    sim::Machine& machine = rig.machine;
     auto module = std::make_shared<PollingModule>(test::comet_map(), PollingConfig{});
-    kernel.load_module(module);
+    rig.kernel.load_module(module);
 
     const Megahertz f = machine.profile().freq_max;
     const MeasuredTurnaround m =
-        measure_turnaround(kernel, *module, test::comet_map(), f, Millivolts{-200.0});
+        measure_turnaround(rig.kernel, *module, test::comet_map(), f, Millivolts{-200.0});
     EXPECT_TRUE(m.detected);
     EXPECT_FALSE(m.crashed);
     const TurnaroundBreakdown bound = estimate_turnaround(

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
 #include "plugvolt/parallel_characterizer.hpp"
 #include "plugvolt/safe_state.hpp"
 #include "sim/cpu_profile.hpp"
@@ -68,6 +70,39 @@ TEST(Determinism, MapHashSeparatesDifferentSweeps) {
     const std::uint64_t base = sweep_hash(profile, coarse);
     EXPECT_NE(base, sweep_hash(sim::cometlake_i7_10510u(), coarse));
     EXPECT_NE(base, sweep_hash(profile, seeded));
+}
+
+TEST(Determinism, CampaignShardedMatchesSerialCellForCell) {
+    // The full quick-tuned campaign cube (8 attacks x 9 defenses x 3
+    // profiles = 216 cells) run single-threaded and sharded across 5
+    // workers must agree fingerprint-for-fingerprint: each cell's
+    // machine is reseeded from the cell index, so scheduling order must
+    // be unobservable.
+    campaign::CampaignConfig config;
+    config.tuning.scan_step = Millivolts{8.0};
+    config.tuning.probe_ops = 20'000;
+    config.tuning.runs_per_offset = 8;
+    config.char_step = Millivolts{5.0};
+
+    config.workers = 1;
+    campaign::CampaignEngine serial(config);
+    const campaign::CampaignReport serial_report = serial.run();
+    ASSERT_GE(serial_report.cells.size(), 200u);
+
+    config.workers = 5;
+    campaign::CampaignEngine sharded(config);
+    const campaign::CampaignReport sharded_report = sharded.run();
+    ASSERT_EQ(serial_report.cells.size(), sharded_report.cells.size());
+
+    for (std::size_t i = 0; i < serial_report.cells.size(); ++i) {
+        EXPECT_EQ(campaign::fingerprint(serial_report.cells[i]),
+                  campaign::fingerprint(sharded_report.cells[i]))
+            << "cell " << i << " ("
+            << campaign::to_string(serial_report.cells[i].spec.attack) << " vs "
+            << campaign::to_string(serial_report.cells[i].spec.defense)
+            << ") diverged between serial and sharded runs";
+    }
+    EXPECT_EQ(serial_report.fingerprint(), sharded_report.fingerprint());
 }
 
 TEST(Determinism, MachineHashCoversTheRngStream) {

@@ -1,0 +1,117 @@
+// Golden-file regression for the Fig. 2-4 characterization grids.
+//
+// Each (profile, resolution) pair has a committed 64-bit state-hash
+// fingerprint under tests/golden/.  The test re-characterizes with BOTH
+// sweep paths (exhaustive and bisection) and asserts each reproduces
+// the committed fingerprint — any change to the simulator's physics,
+// the characterizer's protocol, or the seed-derivation scheme shows up
+// as a golden mismatch here instead of as silent drift in the figures.
+//
+// Regoldening (after an INTENDED change): `PV_REGOLDEN=1 ctest -R Golden`
+// rewrites every file under tests/golden/ from the current exhaustive
+// sweep; commit the diff alongside the change that explains it.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "plugvolt/parallel_characterizer.hpp"
+#include "plugvolt/safe_state.hpp"
+#include "sim/cpu_profile.hpp"
+
+#ifndef PV_GOLDEN_DIR
+#error "PV_GOLDEN_DIR must point at tests/golden (set in tests/CMakeLists.txt)"
+#endif
+
+namespace pv {
+namespace {
+
+struct GoldenCase {
+    const char* slug;  ///< file stem under tests/golden/
+    sim::CpuProfile (*profile)();
+    double step_mv;
+};
+
+const std::vector<GoldenCase>& golden_cases() {
+    static const std::vector<GoldenCase> cases = {
+        {"skylake_5mv", sim::skylake_i5_6500, 5.0},
+        {"skylake_10mv", sim::skylake_i5_6500, 10.0},
+        {"kabylake_r_5mv", sim::kabylake_r_i5_8250u, 5.0},
+        {"kabylake_r_10mv", sim::kabylake_r_i5_8250u, 10.0},
+        {"cometlake_5mv", sim::cometlake_i7_10510u, 5.0},
+        {"cometlake_10mv", sim::cometlake_i7_10510u, 10.0},
+    };
+    return cases;
+}
+
+std::string golden_path(const GoldenCase& c) {
+    return std::string(PV_GOLDEN_DIR) + "/" + c.slug + ".golden";
+}
+
+bool regolden_requested() {
+    const char* env = std::getenv("PV_REGOLDEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Reads the committed fingerprint; '#' lines are comments.
+std::optional<std::uint64_t> read_golden(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        return std::strtoull(line.c_str(), nullptr, 0);
+    }
+    return std::nullopt;
+}
+
+void write_golden(const GoldenCase& c, std::uint64_t hash) {
+    std::ofstream out(golden_path(c));
+    ASSERT_TRUE(out) << "cannot write " << golden_path(c);
+    char line[64];
+    std::snprintf(line, sizeof line, "0x%016" PRIx64 "\n", hash);
+    out << "# state_hash(SafeStateMap) for " << c.slug
+        << " (exhaustive == bisection).\n"
+        << "# Regolden after intended physics changes: PV_REGOLDEN=1 ctest -R Golden\n"
+        << line;
+}
+
+std::uint64_t characterize_hash(const GoldenCase& c, plugvolt::SweepMode mode) {
+    plugvolt::ParallelCharacterizerConfig config;
+    config.cell.offset_step = Millivolts{c.step_mv};
+    config.workers = 2;
+    config.mode = mode;
+    plugvolt::ParallelCharacterizer characterizer(c.profile(), config);
+    return plugvolt::state_hash(characterizer.characterize());
+}
+
+TEST(GoldenCharmap, ExhaustiveAndBisectionReproduceCommittedFingerprints) {
+    for (const GoldenCase& c : golden_cases()) {
+        const std::uint64_t exhaustive =
+            characterize_hash(c, plugvolt::SweepMode::Exhaustive);
+        const std::uint64_t bisection = characterize_hash(c, plugvolt::SweepMode::Bisection);
+        EXPECT_EQ(exhaustive, bisection)
+            << c.slug << ": bisection diverged from the exhaustive reference";
+
+        if (regolden_requested()) {
+            write_golden(c, exhaustive);
+            continue;
+        }
+        const auto committed = read_golden(golden_path(c));
+        ASSERT_TRUE(committed.has_value())
+            << "missing golden file " << golden_path(c)
+            << " — generate with: PV_REGOLDEN=1 ctest -R Golden";
+        EXPECT_EQ(exhaustive, *committed)
+            << c.slug << ": characterization drifted from the committed golden; if the "
+            << "change is intended, regolden with PV_REGOLDEN=1 ctest -R Golden";
+    }
+}
+
+}  // namespace
+}  // namespace pv

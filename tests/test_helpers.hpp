@@ -9,6 +9,20 @@
 
 namespace pv::test {
 
+/// The machine-plus-kernel pair nearly every integration test starts
+/// from.  Construction order matters (the kernel borrows the machine),
+/// which is exactly the detail this fixture keeps out of test files.
+/// Defaults to the Comet Lake profile, the paper's primary target.
+struct MachineRig {
+    MachineRig(const sim::CpuProfile& profile, std::uint64_t seed)
+        : machine(profile, seed), kernel(machine) {}
+    explicit MachineRig(std::uint64_t seed = 71)
+        : MachineRig(sim::cometlake_i7_10510u(), seed) {}
+
+    sim::Machine machine;
+    os::Kernel kernel;
+};
+
 /// Characterize a profile once per process (5 mV steps keep it fast) and
 /// hand out copies.  Characterization is deterministic, so sharing is safe.
 inline const plugvolt::SafeStateMap& cached_map(const sim::CpuProfile& profile) {

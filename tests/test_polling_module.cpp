@@ -13,15 +13,12 @@
 namespace pv::plugvolt {
 namespace {
 
-struct Fixture {
+struct Fixture : test::MachineRig {
     explicit Fixture(PollingConfig config = {}, std::uint64_t seed = 31)
-        : machine(sim::cometlake_i7_10510u(), seed),
-          kernel(machine),
+        : MachineRig(seed),
           module(std::make_shared<PollingModule>(test::comet_map(), config)) {
         kernel.load_module(module);
     }
-    sim::Machine machine;
-    os::Kernel kernel;
     std::shared_ptr<PollingModule> module;
 };
 
