@@ -12,6 +12,7 @@
 #include "attacks/plundervolt.hpp"
 #include "bench_common.hpp"
 #include "plugvolt/plugvolt.hpp"
+#include "trace/recorder.hpp"
 #include "workload/spec.hpp"
 #include "workload/spec_suite.hpp"
 
@@ -47,7 +48,11 @@ int main() {
         {10.0, true}, {25.0, true},  {50.0, true},  {100.0, true},
         {250.0, true}, {1000.0, true}, {50.0, false}, {250.0, false},
     };
-    for (const auto& sweep : sweeps) {
+    // One trace track per sweep row (id = row index): the attack-vs-
+    // module duel under each interval, on a virtual-time axis.
+    trace::TraceSession trace_session;
+    for (std::size_t row_index = 0; row_index < sweeps.size(); ++row_index) {
+        const Sweep& sweep = sweeps[row_index];
         plugvolt::PollingConfig polling;
         polling.interval = microseconds(sweep.interval_us);
         polling.per_core_threads = sweep.per_core;
@@ -58,7 +63,14 @@ int main() {
         auto module = std::make_shared<plugvolt::PollingModule>(map, polling);
         kernel.load_module(module);
         attack::Plundervolt atk;
-        const attack::AttackResult r = atk.run(kernel);
+        attack::AttackResult r;
+        {
+            trace::ScopedRecorder bind(&trace_session.create_track(
+                "interval-" + Table::num(sweep.interval_us, 0) + "us-" +
+                    (sweep.per_core ? "percore" : "ipi"),
+                row_index));
+            r = atk.run(kernel);
+        }
 
         // Overhead: the compute-dense x264 kernel at all-core turbo.
         workload::SpecSuite suite(profile, suite_config);
@@ -80,5 +92,11 @@ int main() {
     std::printf("Expected shape: overhead scales ~1/interval; protection holds while\n"
                 "slew x interval stays under the onset depth, and erodes beyond it.\n"
                 "The single-poller layout pays IPIs on one core (higher overhead there).\n");
+
+    trace_session.write_chrome_json("TRACE_poll_interval.json");
+    trace_session.write_csv("TRACE_poll_interval.csv");
+    std::printf("trace: %llu events on %zu tracks -> TRACE_poll_interval.{json,csv}\n",
+                static_cast<unsigned long long>(trace_session.event_count()),
+                trace_session.track_count());
     return 0;
 }

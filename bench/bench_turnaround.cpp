@@ -9,6 +9,7 @@
 
 #include "bench_common.hpp"
 #include "plugvolt/plugvolt.hpp"
+#include "trace/recorder.hpp"
 #include "util/stats.hpp"
 
 using namespace pv;
@@ -42,10 +43,16 @@ int main() {
                 analytic.render().c_str());
 
     // --- Measured injections ----------------------------------------------
+    // Each injection records onto its own trace track (id = trial), so
+    // TRACE_turnaround.json shows the OCM write -> detection -> rewrite
+    // sequence per trial on a virtual-time axis.
+    trace::TraceSession trace_session;
     Table measured({"injection #", "f (GHz)", "inject (mV)", "detect latency (us)",
                     "exposure (us)", "crashed?"});
     OnlineStats exposures;
     for (int trial = 0; trial < 10; ++trial) {
+        trace::ScopedRecorder bind(&trace_session.create_track(
+            "trial-" + std::to_string(trial), static_cast<std::uint64_t>(trial)));
         sim::Machine machine(profile, 500 + static_cast<std::uint64_t>(trial));
         os::Kernel kernel(machine);
         auto module = std::make_shared<plugvolt::PollingModule>(map, polling);
@@ -94,5 +101,11 @@ int main() {
                                                                   : "clamped",
                     deepest);
     }
+
+    trace_session.write_chrome_json("TRACE_turnaround.json");
+    trace_session.write_csv("TRACE_turnaround.csv");
+    std::printf("\ntrace: %llu events on %zu tracks -> TRACE_turnaround.{json,csv}\n",
+                static_cast<unsigned long long>(trace_session.event_count()),
+                trace_session.track_count());
     return 0;
 }

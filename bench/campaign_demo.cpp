@@ -21,7 +21,10 @@
 // full run with that campaign seed.
 //
 // Other flags: --seed N, --workers N, --quick (coarse tuning for smoke
-// runs), --no-serial-check (skip step 2).
+// runs), --no-serial-check (skip step 2), --trace out.json (write a
+// Chrome trace-event file — load it in chrome://tracing or Perfetto —
+// plus a compact CSV next to it; virtual-clock timestamps, so the file
+// is byte-identical whatever the worker count).
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +35,7 @@
 #include "bench_common.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/report.hpp"
+#include "trace/recorder.hpp"
 #include "util/log.hpp"
 
 using namespace pv;
@@ -188,6 +192,14 @@ int check_efficacy(const campaign::CampaignReport& report, bool full_tuning) {
     return failures;
 }
 
+std::string trace_csv_path(const std::string& json_path) {
+    const std::string suffix = ".json";
+    if (json_path.size() > suffix.size() &&
+        json_path.compare(json_path.size() - suffix.size(), suffix.size(), suffix) == 0)
+        return json_path.substr(0, json_path.size() - suffix.size()) + ".csv";
+    return json_path + ".csv";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +211,7 @@ int main(int argc, char** argv) {
     bool serial_check = true;
     bool quick = false;
     const char* replay = nullptr;
+    const char* trace_path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -218,13 +231,21 @@ int main(int argc, char** argv) {
         }
         else if (arg == "--no-serial-check") serial_check = false;
         else if (arg == "--replay") replay = next();
+        else if (arg == "--trace") trace_path = next();
         else {
             std::fprintf(stderr,
                          "usage: campaign_demo [--seed N] [--workers N] [--quick]\n"
-                         "                     [--no-serial-check] [--replay seed:cell]\n");
+                         "                     [--no-serial-check] [--replay seed:cell]\n"
+                         "                     [--trace out.json]\n");
             return 2;
         }
     }
+
+    // Per-cell ring capacity: the cube has hundreds of cells, so each
+    // track keeps its most recent 4096 events (the coarse stream fits;
+    // the fine stream keeps its tail, which is the interesting part).
+    trace::TraceSession trace_session(4096);
+    if (trace_path) config.trace = &trace_session;
 
     if (replay) {
         char* colon = nullptr;
@@ -245,6 +266,13 @@ int main(int argc, char** argv) {
         std::printf("=== Replaying cell %zu of campaign seed 0x%016" PRIx64 " ===\n",
                     index, seed);
         print_cell(engine.run_cell(specs[index]));
+        if (trace_path) {
+            trace_session.write_chrome_json(trace_path);
+            trace_session.write_csv(trace_csv_path(trace_path));
+            std::printf("trace: %" PRIu64 " events on %zu track(s) -> %s\n",
+                        trace_session.event_count(), trace_session.track_count(),
+                        trace_path);
+        }
         return 0;
     }
 
@@ -262,11 +290,20 @@ int main(int argc, char** argv) {
     std::printf("sharded run: %.0f ms, %zu cells, %zu weaponized\n", sharded_ms,
                 report.cells.size(), report.weaponized_count());
 
+    if (trace_path) {
+        trace_session.write_chrome_json(trace_path);
+        trace_session.write_csv(trace_csv_path(trace_path));
+        std::printf("trace: %" PRIu64 " events on %zu tracks -> %s + %s\n",
+                    trace_session.event_count(), trace_session.track_count(), trace_path,
+                    trace_csv_path(trace_path).c_str());
+    }
+
     int failures = 0;
     double serial_ms = 0.0;
     if (serial_check) {
         campaign::CampaignConfig serial_config = config;
         serial_config.workers = 1;
+        serial_config.trace = nullptr;  // the sharded run already owns the trace
         campaign::CampaignEngine serial_engine(serial_config);
         bench::Stopwatch serial_watch;
         const campaign::CampaignReport serial_report = serial_engine.run();

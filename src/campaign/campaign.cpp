@@ -18,6 +18,7 @@
 #include "plugvolt/parallel_characterizer.hpp"
 #include "plugvolt/plugvolt.hpp"
 #include "sgx/runtime.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -267,6 +268,16 @@ std::uint64_t fingerprint(const CampaignCellResult& cell) {
     hasher.mix(static_cast<std::uint64_t>(cell.attempts));
     hasher.mix(static_cast<std::uint64_t>(cell.machine_rebuilds));
     hasher.mix(std::string_view(cell.verdict));
+    hasher.mix(static_cast<std::uint64_t>(cell.metrics.size()));
+    for (const auto& [name, v] : cell.metrics.values()) {
+        hasher.mix(std::string_view(name));
+        hasher.mix(static_cast<std::uint64_t>(v.kind));
+        hasher.mix(v.count);
+        hasher.mix(v.value);
+        hasher.mix(static_cast<std::uint64_t>(v.bounds.size()));
+        for (const double b : v.bounds) hasher.mix(b);
+        for (const std::uint64_t c : v.buckets) hasher.mix(c);
+    }
     return hasher.digest();
 }
 
@@ -330,6 +341,19 @@ CampaignCellResult CampaignEngine::run_cell(const CellSpec& spec) {
     out.spec = spec;
     out.profile_name = profile.name;
 
+    // One trace track per cell, keyed by cell index: which worker (or
+    // the calling thread) executes the cell is invisible in the export.
+    trace::TraceRecorder* recorder =
+        config_.trace == nullptr
+            ? nullptr
+            : &config_.trace->create_track("cell-" + std::to_string(spec.index),
+                                           spec.index);
+    trace::ScopedRecorder bind_recorder(recorder);
+    PV_TRACE_EVENT(trace::EventKind::CampaignCellBegin, "cell", 0,
+                   static_cast<std::uint64_t>(spec.attack),
+                   static_cast<std::uint64_t>(spec.defense));
+    std::int64_t cell_end_ps = 0;
+
     for (unsigned attempt = 0; attempt < config_.max_attempts; ++attempt) {
         // Attempt seeds derive from the cell seed, so the retry loop is
         // as deterministic as the first try: a cell that dies on attempt
@@ -352,6 +376,7 @@ CampaignCellResult CampaignEngine::run_cell(const CellSpec& spec) {
         std::unique_ptr<attack::Attack> atk = make_attack(rig, spec, config_.tuning, map);
         bool dead = false;
         try {
+            PV_TRACE_SPAN("attack", rig.machine);
             out.attack_result = atk->run(rig.kernel);
             dead = rig.machine.crashed();
         } catch (const Error& e) {
@@ -374,15 +399,31 @@ CampaignCellResult CampaignEngine::run_cell(const CellSpec& spec) {
         }
         out.machine_state_hash = rig.machine.state_hash();
         out.verdict = verdict_of(spec, out.attack_result);
+        cell_end_ps = rig.machine.now().value();
+
+        trace::MetricsRegistry reg;
+        reg.counter("attempts") = out.attempts;
+        reg.counter("machine_rebuilds") = out.machine_rebuilds;
+        reg.counter("attack_faults") = out.attack_result.faults_observed;
+        reg.counter("attack_crashes") = out.attack_result.crashes;
+        reg.counter("audit_violations") = out.audit_violations;
+        reg.gauge("cell_virtual_us") = rig.machine.now().microseconds();
+        out.metrics = reg.snapshot();
+        if (const plugvolt::PollingModule* module = rig.polling_module())
+            out.metrics.merge(module->metrics_snapshot(), "polling.");
 
         if (!dead) break;
         ++out.machine_rebuilds;
+        out.metrics.set_counter("machine_rebuilds", out.machine_rebuilds);
         if (attempt + 1 == config_.max_attempts) {
             out.verdict += " [machine dead after " + std::to_string(out.attempts) +
                            " attempts]";
             break;
         }
     }
+    PV_TRACE_EVENT(trace::EventKind::CampaignCellEnd, "cell", cell_end_ps,
+                   static_cast<std::uint64_t>(spec.attack),
+                   static_cast<std::uint64_t>(spec.defense));
     return out;
 }
 

@@ -36,6 +36,11 @@
 #include "plugvolt/polling_module.hpp"
 #include "plugvolt/safe_state.hpp"
 #include "sim/cpu_profile.hpp"
+#include "trace/metrics.hpp"
+
+namespace pv::trace {
+class TraceSession;
+}  // namespace pv::trace
 
 namespace pv::campaign {
 
@@ -114,6 +119,11 @@ struct CampaignConfig {
     AttackTuning tuning{};
     /// Attach an MsrAuditor to every cell and record its findings.
     bool audit = true;
+    /// Optional trace sink (not owned; must outlive run()).  Every cell
+    /// opens its own track, keyed by cell INDEX — never by worker or OS
+    /// thread — and all events carry virtual-clock timestamps, so the
+    /// exported trace is byte-identical between serial and sharded runs.
+    trace::TraceSession* trace = nullptr;
 };
 
 /// One cell of the cube, fully determined by the config and its index.
@@ -144,6 +154,10 @@ struct CampaignCellResult {
     /// Human verdict: "blocked", "faults leaked (n)", "BROKEN (n faults)"
     /// — or the benign probe's "full"/"clamped"/"DENIED".
     std::string verdict;
+    /// Cell-level metrics (attempts, faults, virtual duration, plus the
+    /// polling module's counters and histograms under "polling.").
+    /// Folded into fingerprint() and the JSON report.
+    trace::MetricsSnapshot metrics;
 };
 
 /// 64-bit fingerprint over every field of a cell result (StateHasher).

@@ -29,6 +29,22 @@ std::string json_escape(const std::string& s) {
     return out;
 }
 
+// RFC 4180 quoting for the free-text columns (verdicts carry bracketed
+// annotations today and could grow commas; profile names are vendor
+// strings).  Matches what util::csv_parse accepts.
+std::string csv_escape(const std::string& s) {
+    if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 }  // namespace
 
 std::uint64_t CampaignReport::fingerprint() const {
@@ -54,9 +70,10 @@ std::string CampaignReport::to_csv() const {
            "audit_violations,audited_accesses,machine_state_hash,fingerprint\n";
     for (const CampaignCellResult& cell : cells) {
         const attack::AttackResult& r = cell.attack_result;
-        out << cell.spec.index << ',' << cell.profile_name << ','
+        out << cell.spec.index << ',' << csv_escape(cell.profile_name) << ','
             << to_string(cell.spec.attack) << ',' << to_string(cell.spec.defense) << ','
-            << hex64(cell.spec.seed) << ',' << cell.verdict << ',' << r.faults_observed
+            << hex64(cell.spec.seed) << ',' << csv_escape(cell.verdict) << ','
+            << r.faults_observed
             << ',' << (r.weaponized ? 1 : 0) << ',' << r.crashes << ',' << cell.attempts
             << ',' << cell.machine_rebuilds << ',' << r.writes_attempted << ','
             << r.writes_effective << ',';
@@ -104,7 +121,8 @@ std::string CampaignReport::to_json() const {
         out << ", \"audit_violations\": " << cell.audit_violations
             << ", \"audited_accesses\": " << cell.audited_accesses
             << ", \"machine_state_hash\": \"" << hex64(cell.machine_state_hash)
-            << "\", \"fingerprint\": \"" << hex64(campaign::fingerprint(cell)) << "\"}"
+            << "\", \"metrics\": " << cell.metrics.to_json()
+            << ", \"fingerprint\": \"" << hex64(campaign::fingerprint(cell)) << "\"}"
             << (i + 1 < cells.size() ? "," : "") << '\n';
     }
     out << "  ]\n}\n";

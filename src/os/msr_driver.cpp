@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace pv::os {
 
 MsrDriver::MsrDriver(sim::Machine& machine) : machine_(machine) {}
@@ -28,6 +30,8 @@ Cycles MsrDriver::write_cost(bool remote) const {
 std::uint64_t MsrDriver::rdmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr) {
     charge(caller_cpu, read_cost(caller_cpu != target_cpu).value());
     const std::uint64_t value = machine_.read_msr(target_cpu, addr);
+    PV_TRACE_EVENT_FINE(trace::EventKind::MsrRead, "rdmsr", machine_.now().value(), addr,
+                        value);
     if (observer_ != nullptr) observer_->on_rdmsr(caller_cpu, target_cpu, addr, value);
     return value;
 }
@@ -35,6 +39,8 @@ std::uint64_t MsrDriver::rdmsr(unsigned caller_cpu, unsigned target_cpu, std::ui
 bool MsrDriver::wrmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
                       std::uint64_t value) {
     charge(caller_cpu, write_cost(caller_cpu != target_cpu).value());
+    PV_TRACE_EVENT_FINE(trace::EventKind::MsrWrite, "wrmsr", machine_.now().value(), addr,
+                        value);
     // Observed BEFORE the machine applies it, so an auditor's machine-
     // level hook can tell driver traffic from out-of-band injection.
     if (observer_ != nullptr) observer_->on_wrmsr(caller_cpu, target_cpu, addr, value);

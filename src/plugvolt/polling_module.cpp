@@ -4,13 +4,17 @@
 #include <algorithm>
 #include <cmath>
 #include "sim/ocm.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace pv::plugvolt {
 
 PollingModule::PollingModule(SafeStateMap map, PollingConfig config)
-    : map_(std::move(map)), config_(std::move(config)) {
+    : map_(std::move(map)),
+      config_(std::move(config)),
+      poll_gap_us_({1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0}),
+      unsafe_dwell_us_({0.1, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 500.0}) {
     if (config_.interval <= Picoseconds{0})
         throw ConfigError("polling interval must be positive");
     if (map_.rows().empty()) throw ConfigError("polling module needs a characterized map");
@@ -27,13 +31,24 @@ void PollingModule::clamp_frequencies(os::Kernel& kernel, unsigned poller_cpu,
     for (unsigned cpu = 0; cpu < cores; ++cpu) {
         const std::uint64_t cur = msr.rdmsr(poller_cpu, cpu, sim::kMsrPerfCtl);
         if (static_cast<double>((cur >> 8) & 0xFF) * 100.0 <= f_safe.value()) continue;
-        if (msr.wrmsr(poller_cpu, cpu, sim::kMsrPerfCtl, ratio << 8))
+        if (msr.wrmsr(poller_cpu, cpu, sim::kMsrPerfCtl, ratio << 8)) {
             ++metrics_.freq_drops;
+            PV_TRACE_EVENT(trace::EventKind::FreqClamp, "freq-clamp",
+                           kernel.machine().now().value(), cpu, ratio);
+        }
     }
 }
 
 void PollingModule::poll_cpu(os::Kernel& kernel, unsigned poller_cpu, unsigned target_cpu) {
     ++metrics_.polls;
+    const Picoseconds poll_time = kernel.machine().now();
+    PV_TRACE_EVENT_FINE(trace::EventKind::PollIteration, "poll", poll_time.value(),
+                        poller_cpu, target_cpu);
+    if (target_cpu < last_poll_.size()) {
+        if (last_poll_[target_cpu] > Picoseconds{0})
+            poll_gap_us_.observe((poll_time - last_poll_[target_cpu]).microseconds());
+        last_poll_[target_cpu] = poll_time;
+    }
     os::MsrDriver& msr = kernel.msr();
 
     // Algo. 3 lines 4-5: read frequency from 0x198 and offset from 0x150.
@@ -75,6 +90,11 @@ void PollingModule::poll_cpu(os::Kernel& kernel, unsigned poller_cpu, unsigned t
             if (residual < -config_.rail_watch_margin) {
                 ++metrics_.rail_watch_detections;
                 metrics_.last_detection = kernel.machine().now();
+                PV_TRACE_EVENT(trace::EventKind::Instant, "rail-watch-detection",
+                               kernel.machine().now().value(),
+                               static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(measured_offset.value())),
+                               target_cpu);
                 // The mailbox cannot out-write a bus interposer; the
                 // frequency lever is the one the attacker cannot reach.
                 clamp_frequencies(
@@ -100,6 +120,15 @@ void PollingModule::poll_cpu(os::Kernel& kernel, unsigned poller_cpu, unsigned t
 
     ++metrics_.detections;
     metrics_.last_detection = kernel.machine().now();
+    PV_TRACE_EVENT(trace::EventKind::Instant, "unsafe-detected",
+                   kernel.machine().now().value(),
+                   static_cast<std::uint64_t>(freq.value()), ocm);
+    // How long was the unsafe offset armed before we saw it?  Measured
+    // from the mailbox write that commanded it (hardware injection has
+    // no mailbox trace and is excluded by the zero check).
+    const Picoseconds armed = kernel.machine().last_ocm_write_time();
+    if (armed > Picoseconds{0} && kernel.machine().now() >= armed)
+        unsafe_dwell_us_.observe((kernel.machine().now() - armed).microseconds());
 
     // Algo. 3 line 7: force the system back into a safe state.  Two
     // levers, pulled in order of immediacy:
@@ -125,13 +154,42 @@ void PollingModule::poll_cpu(os::Kernel& kernel, unsigned poller_cpu, unsigned t
         case RestorePolicy::ClampToMaximalSafe: safe = maximal_safe_; break;
     }
     const std::uint64_t raw = sim::encode_offset(safe, plane);
-    if (msr.wrmsr(poller_cpu, target_cpu, sim::kMsrOcMailbox, raw)) ++metrics_.restore_writes;
+    if (msr.wrmsr(poller_cpu, target_cpu, sim::kMsrOcMailbox, raw)) {
+        ++metrics_.restore_writes;
+        PV_TRACE_EVENT(trace::EventKind::SafeStateRewrite, "safe-state-rewrite",
+                       kernel.machine().now().value(), raw,
+                       static_cast<std::uint64_t>(plane));
+    }
     log_debug("plugvolt: unsafe state at f=", freq.value(), " MHz, offset=",
               commanded.value(), " mV -> restoring ", safe.value(), " mV");
 }
 
+trace::MetricsSnapshot PollingModule::metrics_snapshot() const {
+    trace::MetricsRegistry reg;
+    reg.counter("polls") = metrics_.polls;
+    reg.counter("detections") = metrics_.detections;
+    reg.counter("restore_writes") = metrics_.restore_writes;
+    reg.counter("freq_drops") = metrics_.freq_drops;
+    reg.counter("rail_watch_detections") = metrics_.rail_watch_detections;
+    reg.gauge("last_detection_us") = metrics_.last_detection.microseconds();
+    trace::MetricsSnapshot out = reg.snapshot();
+    auto freeze = [&out](const char* name, const trace::Histogram& h) {
+        trace::MetricValue v;
+        v.kind = trace::MetricValue::Kind::Histogram;
+        v.count = h.count();
+        v.value = h.sum();
+        v.bounds = h.bounds();
+        v.buckets = h.buckets();
+        out.set(name, std::move(v));
+    };
+    freeze("poll_gap_us", poll_gap_us_);
+    freeze("unsafe_dwell_us", unsafe_dwell_us_);
+    return out;
+}
+
 void PollingModule::init(os::Kernel& kernel) {
     const unsigned cores = kernel.machine().core_count();
+    last_poll_.assign(cores, Picoseconds{});
     if (config_.per_core_threads) {
         for (unsigned cpu = 0; cpu < cores; ++cpu) {
             kthreads_.push_back(kernel.start_kthread(

@@ -25,6 +25,7 @@
 #include "os/kernel.hpp"
 #include "plugvolt/safe_state.hpp"
 #include "sim/vf_curve.hpp"
+#include "trace/metrics.hpp"
 
 namespace pv::plugvolt {
 
@@ -88,6 +89,13 @@ public:
     [[nodiscard]] const SafeStateMap& map() const { return map_; }
     [[nodiscard]] const PollingConfig& config() const { return config_; }
 
+    /// Counters plus latency histograms ("poll_gap_us": observed gap
+    /// between consecutive polls of the same core; "unsafe_dwell_us":
+    /// virtual time between the mailbox write that armed an unsafe state
+    /// and the module's restoring rewrite).  Merged into campaign cell
+    /// metrics under the "polling." prefix.
+    [[nodiscard]] trace::MetricsSnapshot metrics_snapshot() const;
+
     static constexpr std::string_view kModuleName = "plugvolt";
 
 private:
@@ -103,6 +111,9 @@ private:
     PollingConfig config_;
     Millivolts maximal_safe_{};
     PollingMetrics metrics_;
+    trace::Histogram poll_gap_us_;
+    trace::Histogram unsafe_dwell_us_;
+    std::vector<Picoseconds> last_poll_;  // per-core, for the gap histogram
     std::vector<os::KthreadId> kthreads_;
 };
 

@@ -6,6 +6,7 @@
 
 #include "check/assert.hpp"
 #include "check/state_hasher.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 
 namespace pv::sim {
@@ -389,6 +390,10 @@ void Machine::apply_msr_semantics(unsigned core_id, std::uint32_t addr, std::uin
             if (req && req->command && req->write_enable) {
                 regulator_.write(req->plane, req->offset, clock_);
                 mailbox_target_[static_cast<std::size_t>(req->plane)] = req->offset;
+                last_ocm_write_ = clock_;
+                PV_TRACE_EVENT(trace::EventKind::OcmTransaction, "ocm-write",
+                               clock_.value(), value,
+                               static_cast<std::uint64_t>(req->plane));
             }
             break;
         }
@@ -476,7 +481,11 @@ BatchResult Machine::run_batch(unsigned core_id, InstrClass c, std::uint64_t n_o
                                  regulator_.offset_at(plane, mid);
         const double p =
             fault_model_.fault_probability(cr.frequency(), v_mid, c, thermal_.delay_scale());
-        r.faults += fault_model_.sample_fault_count(rng_, ops, p);
+        const std::uint64_t slice_faults = fault_model_.sample_fault_count(rng_, ops, p);
+        if (slice_faults > 0)
+            PV_TRACE_EVENT(trace::EventKind::FaultInjected, "batch-fault", clock_.value(),
+                           slice_faults, static_cast<std::uint64_t>(c));
+        r.faults += slice_faults;
         power_.on_retire(ops, v_mid);
         cr.retire(ops);
         r.ops_done += ops;
@@ -497,6 +506,9 @@ bool Machine::execute_op(unsigned core_id, InstrClass c, double cpi) {
     if (crashed_) return false;
     const double p = fault_probability(core_id, c);
     const bool faulted = rng_.uniform() < p;
+    if (faulted)
+        PV_TRACE_EVENT(trace::EventKind::FaultInjected, "op-fault", clock_.value(), 1,
+                       static_cast<std::uint64_t>(c));
     const double op_ps = cpi * cr.frequency().period_ps();
     power_.on_retire(1, package_voltage());
     advance(Picoseconds{static_cast<std::int64_t>(std::ceil(op_ps))});
@@ -526,6 +538,8 @@ void Machine::crash(std::string reason) {
     crashed_ = true;
     crash_reason_ = std::move(reason);
     crash_time_ = clock_;
+    PV_TRACE_EVENT(trace::EventKind::Instant, "crash", clock_.value(),
+                   static_cast<std::uint64_t>(boot_count_), 0);
 }
 
 void Machine::restore_boot_state() {
@@ -537,6 +551,7 @@ void Machine::restore_boot_state() {
     base_rail_.force(VoltagePlane::Core, vf_.nominal(profile_.freq_base));
     msr_storage_.clear();
     mailbox_target_ = {};
+    last_ocm_write_ = Picoseconds{};
     requested_freq_.assign(profile_.core_count, profile_.freq_base);
     for (auto& c : cores_) c.reset(profile_.freq_base);
     power_.reset();  // RAPL counters clear at boot
@@ -548,6 +563,8 @@ void Machine::reboot() {
     restore_boot_state();
     clock_ += reboot_delay_;
     ++boot_count_;
+    PV_TRACE_EVENT(trace::EventKind::Instant, "reboot", clock_.value(),
+                   static_cast<std::uint64_t>(boot_count_), 0);
     for (const auto& cb : reset_callbacks_) cb();
 }
 

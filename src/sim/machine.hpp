@@ -200,6 +200,13 @@ public:
     /// this machine's deterministic fault-sampling stream).
     [[nodiscard]] std::uint64_t corrupt_value(std::uint64_t correct);
 
+    /// Virtual time of the last mailbox write that actually commanded
+    /// the regulator (zero until one happens).  Observability only — the
+    /// polling module uses it to histogram how long an unsafe offset
+    /// dwelt before its rewrite.  Deliberately NOT part of state_hash():
+    /// it duplicates information already hashed via the regulator.
+    [[nodiscard]] Picoseconds last_ocm_write_time() const { return last_ocm_write_; }
+
     // --- crash / reboot ------------------------------------------------------------
     [[nodiscard]] bool crashed() const { return crashed_; }
     [[nodiscard]] const std::string& crash_reason() const { return crash_reason_; }
@@ -280,6 +287,7 @@ private:
     // regulator target; diverges under hardware (SVID bus) injection,
     // which is exactly what mailbox readback cannot see.
     std::array<Millivolts, 5> mailbox_target_{};
+    Picoseconds last_ocm_write_{};
     std::vector<std::pair<std::size_t, WriteHook>> write_hooks_;
     std::size_t next_hook_token_ = 0;
 

@@ -1,0 +1,32 @@
+#include "trace/bridge.hpp"
+
+#include "trace/recorder.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pv::trace {
+namespace {
+
+void log_forwarder(LogLevel level, const std::string& message) {
+    if (TraceRecorder* r = current_recorder())
+        r->record(EventKind::LogRecord, r->intern(message), r->last_ts(),
+                  static_cast<std::uint64_t>(level));
+}
+
+void dispatch_forwarder(std::uint64_t submitted, std::size_t queue_depth) {
+    if (TraceRecorder* r = current_recorder())
+        r->record(EventKind::TaskDispatch, "pool-submit", r->last_ts(), submitted,
+                  queue_depth);
+}
+
+}  // namespace
+
+void install_log_bridge() { set_log_tap(&log_forwarder); }
+
+void remove_log_bridge() { set_log_tap(nullptr); }
+
+void install_pool_bridge() { ThreadPool::set_dispatch_tap(&dispatch_forwarder); }
+
+void remove_pool_bridge() { ThreadPool::set_dispatch_tap(nullptr); }
+
+}  // namespace pv::trace

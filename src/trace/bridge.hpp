@@ -1,0 +1,42 @@
+// PlugVolt — bridges from util observation hooks into the trace stream.
+//
+// util must stay free of any trace dependency, so log.hpp and
+// thread_pool.hpp expose plain function-pointer taps; this translation
+// unit supplies the forwarders that turn tapped observations into
+// events on the CALLING thread's bound recorder (nothing happens on
+// unbound threads).  Process-wide: install once around a traced run.
+#pragma once
+
+namespace pv::trace {
+
+/// Route util::log lines (that pass the level filter) into the bound
+/// recorder as LogRecord events, stamped at the track's last virtual
+/// timestamp.  Replaces any previously installed log tap.
+void install_log_bridge();
+void remove_log_bridge();
+
+/// Route ThreadPool submissions into the bound recorder as TaskDispatch
+/// events (a = tasks submitted so far, b = queue depth).  Campaign
+/// submissions happen on the orchestrating thread, which binds no
+/// recorder — so pool scheduling never leaks into cell tracks and the
+/// worker count cannot perturb trace determinism.
+void install_pool_bridge();
+void remove_pool_bridge();
+
+/// RAII: install both bridges for a scope (a traced bench or test).
+class ScopedBridges {
+public:
+    ScopedBridges() {
+        install_log_bridge();
+        install_pool_bridge();
+    }
+    ~ScopedBridges() {
+        remove_pool_bridge();
+        remove_log_bridge();
+    }
+
+    ScopedBridges(const ScopedBridges&) = delete;
+    ScopedBridges& operator=(const ScopedBridges&) = delete;
+};
+
+}  // namespace pv::trace

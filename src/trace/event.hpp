@@ -1,0 +1,50 @@
+// PlugVolt — trace event schema.
+//
+// One fixed-size binary record per observable: MSR traffic, OCM mailbox
+// transactions, fault injections, poll iterations, safe-state rewrites,
+// campaign cell boundaries, thread-pool dispatches, spans and log
+// records.  Every event is timestamped from the SIMULATOR'S VIRTUAL
+// CLOCK (integer picoseconds), never from wall time — that is what makes
+// a trace a pure function of (config, seed) and therefore bit-identical
+// between a serial and a sharded run of the same workload.
+#pragma once
+
+#include <cstdint>
+
+namespace pv::trace {
+
+/// Typed event kinds.  The numeric values are part of the CSV export
+/// format only through kind_name(); reordering is safe.
+enum class EventKind : std::uint8_t {
+    MsrRead,           ///< driver-level rdmsr (fine level)
+    MsrWrite,          ///< driver-level wrmsr (fine level)
+    OcmTransaction,    ///< 0x150 mailbox command applied by the machine
+    FaultInjected,     ///< undervolt fault(s) sampled into a workload
+    PollIteration,     ///< one Algo. 3 poll body (fine level)
+    SafeStateRewrite,  ///< polling module rewrote 0x150 to a safe state
+    FreqClamp,         ///< polling module dropped a core's P-state
+    CampaignCellBegin, ///< campaign cell started (span begin)
+    CampaignCellEnd,   ///< campaign cell finished (span end)
+    TaskDispatch,      ///< thread-pool task submitted
+    SpanBegin,         ///< ScopedSpan opened
+    SpanEnd,           ///< ScopedSpan closed
+    Instant,           ///< generic point event (crash, reboot, detection)
+    LogRecord,         ///< util::log line routed through the bridge
+};
+
+/// Stable human-readable tag for an event kind.
+[[nodiscard]] const char* kind_name(EventKind kind);
+
+/// One trace record.  `name` points at static storage or at a string
+/// interned by the owning recorder; it is never owned by the event.
+/// `a` and `b` are kind-specific payloads (MSR address/value, offset
+/// bit patterns, core ids, ...).
+struct Event {
+    std::int64_t ts_ps = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    const char* name = "";
+    EventKind kind = EventKind::Instant;
+};
+
+}  // namespace pv::trace

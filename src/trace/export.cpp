@@ -1,0 +1,135 @@
+// TraceSession exporters: Chrome trace-event JSON and compact CSV.
+//
+// Both walk tracks in (id, name) order and events in recording order,
+// format timestamps with integer arithmetic only, and never consult
+// wall-clock state — equal sessions export byte-identical files.
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trace/recorder.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace pv::trace {
+namespace {
+
+void json_escape_into(std::ostringstream& os, std::string_view s) {
+    for (char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+}
+
+/// Picoseconds -> microseconds as a decimal string ("12.000345"),
+/// computed in integer math so no floating-point rounding can differ
+/// between runs.  Trace timestamps are non-negative by construction
+/// (virtual clocks only move forward from zero).
+std::string ts_microseconds(std::int64_t ps) {
+    const std::int64_t whole = ps / 1'000'000;
+    const std::int64_t frac = ps % 1'000'000;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%" PRId64 ".%06" PRId64, whole, frac < 0 ? -frac : frac);
+    return buf;
+}
+
+const char* chrome_phase(EventKind kind) {
+    switch (kind) {
+        case EventKind::SpanBegin:
+        case EventKind::CampaignCellBegin:
+            return "B";
+        case EventKind::SpanEnd:
+        case EventKind::CampaignCellEnd:
+            return "E";
+        default:
+            return "i";
+    }
+}
+
+std::string hex64(std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%" PRIx64, v);
+    return buf;
+}
+
+void write_file(const std::string& path, const std::string& body) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw ConfigError("cannot open trace output file: " + path);
+    out << body;
+    if (!out) throw ConfigError("failed writing trace output file: " + path);
+}
+
+}  // namespace
+
+std::string TraceSession::to_chrome_json() const {
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto comma = [&] {
+        if (!first) os << ",\n";
+        first = false;
+    };
+    for (const TraceRecorder* track : tracks()) {
+        // Name the pseudo-thread after the track so timelines read
+        // "cell-17", not a bare tid.
+        comma();
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << track->track_id()
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+        json_escape_into(os, track->track_name());
+        os << "\"}}";
+        for (const Event& e : track->events()) {
+            comma();
+            os << "{\"ph\":\"" << chrome_phase(e.kind) << "\",\"pid\":1,\"tid\":"
+               << track->track_id() << ",\"ts\":" << ts_microseconds(e.ts_ps)
+               << ",\"name\":\"";
+            json_escape_into(os, e.name);
+            os << "\",\"cat\":\"" << kind_name(e.kind) << '"';
+            if (*chrome_phase(e.kind) == 'i') os << ",\"s\":\"t\"";
+            os << ",\"args\":{\"a\":\"" << hex64(e.a) << "\",\"b\":\"" << hex64(e.b)
+               << "\"}}";
+        }
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+std::string TraceSession::to_csv() const {
+    CsvDocument doc;
+    doc.header = {"track_id", "track_name", "seq", "ts_ps", "kind", "name", "a", "b"};
+    for (const TraceRecorder* track : tracks()) {
+        std::uint64_t seq = 0;
+        for (const Event& e : track->events()) {
+            doc.rows.push_back({std::to_string(track->track_id()), track->track_name(),
+                                std::to_string(seq++), std::to_string(e.ts_ps),
+                                kind_name(e.kind), e.name, std::to_string(e.a),
+                                std::to_string(e.b)});
+        }
+    }
+    return csv_write(doc);
+}
+
+std::string TraceSession::write_chrome_json(const std::string& path) const {
+    write_file(path, to_chrome_json());
+    return path;
+}
+
+std::string TraceSession::write_csv(const std::string& path) const {
+    write_file(path, to_csv());
+    return path;
+}
+
+}  // namespace pv::trace

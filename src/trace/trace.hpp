@@ -1,0 +1,71 @@
+// PlugVolt — tracing macros (the instrumentation surface).
+//
+// PV_TRACE_LEVEL (a compile-time gate, set from CMake like
+// PV_CHECK_LEVEL) selects how much instrumentation exists in the binary:
+//   0 — every macro expands to nothing: zero code, zero branches, the
+//       shipping configuration's hot paths are bit-for-bit the pre-trace
+//       ones;
+//   1 — coarse events: OCM transactions, fault injections, safe-state
+//       rewrites, detections, crashes, campaign cell boundaries, spans,
+//       log records;
+//   2 — adds the fine-grained stream: every driver-level MSR access and
+//       every poll iteration (PV_TRACE_EVENT_FINE).
+// At any level, an event is only materialized when a recorder is bound
+// to the calling thread (trace/recorder.hpp) — unbound threads pay one
+// thread-local load and a predictable branch.
+#pragma once
+
+#include "trace/recorder.hpp"
+
+#ifndef PV_TRACE_LEVEL
+#define PV_TRACE_LEVEL 2
+#endif
+
+#define PV_TRACE_CONCAT_IMPL(a, b) a##b
+#define PV_TRACE_CONCAT(a, b) PV_TRACE_CONCAT_IMPL(a, b)
+
+// The disabled expansion parks its arguments in a provably dead branch:
+// nothing is evaluated or emitted, but variables used only for tracing
+// do not turn into -Wunused errors on a level-0 build.
+#define PV_TRACE_DISABLED_(kind, name, ts_ps, a, b)       \
+    do {                                                  \
+        if (false) {                                      \
+            static_cast<void>(kind);                      \
+            static_cast<void>(name);                      \
+            static_cast<void>(ts_ps);                     \
+            static_cast<void>(a);                         \
+            static_cast<void>(b);                         \
+        }                                                 \
+    } while (0)
+
+#if PV_TRACE_LEVEL >= 1
+/// Record a coarse event on the bound recorder (no-op when none bound).
+#define PV_TRACE_EVENT(kind, name, ts_ps, a, b)                               \
+    do {                                                                      \
+        if (::pv::trace::TraceRecorder* pv_trace_rec_ =                       \
+                ::pv::trace::current_recorder())                              \
+            pv_trace_rec_->record((kind), (name), (ts_ps), (a), (b));         \
+    } while (0)
+/// RAII span: SpanBegin now, SpanEnd at scope exit, stamped from
+/// `clock.now()` (e.g. a sim::Machine).
+#define PV_TRACE_SPAN(name, clock)                                            \
+    ::pv::trace::ScopedSpan PV_TRACE_CONCAT(pv_trace_span_, __LINE__) {       \
+        (name), (clock)                                                       \
+    }
+#else
+#define PV_TRACE_EVENT(kind, name, ts_ps, a, b) \
+    PV_TRACE_DISABLED_(kind, name, ts_ps, a, b)
+#define PV_TRACE_SPAN(name, clock)              \
+    do {                                        \
+        if (false) static_cast<void>(clock);    \
+    } while (0)
+#endif
+
+#if PV_TRACE_LEVEL >= 2
+/// Fine-grained stream (MSR traffic, poll iterations).
+#define PV_TRACE_EVENT_FINE(kind, name, ts_ps, a, b) \
+    PV_TRACE_EVENT(kind, name, ts_ps, a, b)
+#else
+#define PV_TRACE_EVENT_FINE(kind, name, ts_ps, a, b) \
+    PV_TRACE_DISABLED_(kind, name, ts_ps, a, b)
+#endif

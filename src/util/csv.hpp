@@ -17,12 +17,14 @@ struct CsvDocument {
     std::vector<std::vector<std::string>> rows;
 };
 
-/// Serialize rows (no quoting needed: writers only emit numbers and
-/// identifier-like strings; a comma in any cell is a ConfigError).
+/// Serialize rows with RFC 4180 quoting: cells containing a comma,
+/// quote or newline are wrapped in double quotes with embedded quotes
+/// doubled; everything else (numbers, identifiers) is emitted verbatim.
 [[nodiscard]] std::string csv_write(const CsvDocument& doc);
 
-/// Parse a CSV string produced by csv_write.  Throws ConfigError on
-/// ragged rows or an empty document.
+/// Parse a CSV string produced by csv_write (quoted cells may contain
+/// commas, doubled quotes and newlines).  Throws ConfigError on ragged
+/// rows, an unterminated quote, or an empty document.
 [[nodiscard]] CsvDocument csv_parse(const std::string& text);
 
 }  // namespace pv

@@ -16,10 +16,37 @@ TEST(Csv, RoundTrip) {
     EXPECT_EQ(parsed.rows, doc.rows);
 }
 
-TEST(Csv, RejectsDelimiterInCell) {
+TEST(Csv, QuotesDelimiterInCell) {
     CsvDocument doc;
-    doc.header = {"a,b"};
-    EXPECT_THROW((void)csv_write(doc), ConfigError);
+    doc.header = {"name", "note"};
+    doc.rows = {{"x", "a,b"}};
+    const std::string text = csv_write(doc);
+    EXPECT_NE(text.find("\"a,b\""), std::string::npos);
+    const CsvDocument parsed = csv_parse(text);
+    EXPECT_EQ(parsed.rows, doc.rows);
+}
+
+TEST(Csv, EscapesQuotesNewlinesAndCommasRoundTrip) {
+    CsvDocument doc;
+    doc.header = {"plain", "tricky"};
+    doc.rows = {{"1", "she said \"hi\""},
+                {"2", "line one\nline two"},
+                {"3", "a,b,\"c\"\nd"},
+                {"4", ""}};
+    const CsvDocument parsed = csv_parse(csv_write(doc));
+    EXPECT_EQ(parsed.header, doc.header);
+    EXPECT_EQ(parsed.rows, doc.rows);
+}
+
+TEST(Csv, ParsesQuotedCellsWithCrlf) {
+    const CsvDocument parsed = csv_parse("h1,h2\r\n\"a,b\",\"x\"\"y\"\r\n");
+    ASSERT_EQ(parsed.rows.size(), 1u);
+    EXPECT_EQ(parsed.rows[0][0], "a,b");
+    EXPECT_EQ(parsed.rows[0][1], "x\"y");
+}
+
+TEST(Csv, RejectsUnterminatedQuote) {
+    EXPECT_THROW((void)csv_parse("h\n\"open\n"), ConfigError);
 }
 
 TEST(Csv, RejectsRaggedRows) {

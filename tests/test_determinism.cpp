@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
 #include "campaign/campaign.hpp"
 #include "campaign/report.hpp"
+#include "trace/recorder.hpp"
 #include "plugvolt/parallel_characterizer.hpp"
 #include "plugvolt/safe_state.hpp"
 #include "sim/cpu_profile.hpp"
@@ -103,6 +107,45 @@ TEST(Determinism, CampaignShardedMatchesSerialCellForCell) {
             << ") diverged between serial and sharded runs";
     }
     EXPECT_EQ(serial_report.fingerprint(), sharded_report.fingerprint());
+}
+
+TEST(Determinism, CampaignTraceExportsByteIdenticalAcrossWorkerCounts) {
+    // The trace subsystem's central claim: because every event is
+    // stamped from the simulator's virtual clock and every track is
+    // keyed by cell index (never by worker or OS thread), the exported
+    // trace is a pure function of (config, seed).  A serial run and a
+    // 5-worker sharded run of the same sub-cube must export the same
+    // BYTES, Chrome JSON and CSV alike.
+    campaign::CampaignConfig config;
+    config.attacks = {campaign::AttackKind::Plundervolt, campaign::AttackKind::VoltJockey,
+                      campaign::AttackKind::BenignUndervolt};
+    config.defenses = {campaign::DefenseKind::None, campaign::DefenseKind::PollingSafeLimit,
+                       campaign::DefenseKind::Microcode};
+    config.profiles = {sim::skylake_i5_6500()};
+    config.tuning.scan_step = Millivolts{8.0};
+    config.tuning.probe_ops = 20'000;
+    config.tuning.runs_per_offset = 8;
+    config.char_step = Millivolts{5.0};
+
+    auto traced_run = [&config](unsigned workers) {
+        trace::TraceSession session(/*track_capacity=*/4096);
+        campaign::CampaignConfig run_config = config;
+        run_config.workers = workers;
+        run_config.trace = &session;
+        campaign::CampaignEngine engine(run_config);
+        (void)engine.run();
+        return std::pair<std::string, std::string>(session.to_chrome_json(),
+                                                   session.to_csv());
+    };
+    const auto serial = traced_run(1);
+    const auto sharded = traced_run(5);
+    EXPECT_FALSE(serial.first.empty());
+#if PV_TRACE_LEVEL >= 1
+    EXPECT_NE(serial.first.find("\"ph\":\"B\""), std::string::npos)
+        << "expected at least one campaign-cell span in the trace";
+#endif
+    EXPECT_EQ(serial.first, sharded.first) << "Chrome JSON diverged";
+    EXPECT_EQ(serial.second, sharded.second) << "CSV diverged";
 }
 
 TEST(Determinism, MachineHashCoversTheRngStream) {

@@ -7,11 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "trace/bridge.hpp"
+#include "trace/recorder.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pv {
 namespace {
@@ -84,6 +89,51 @@ TEST(LogSink, ConcurrentEmissionWhileTheLevelFlips) {
         EXPECT_TRUE(line.ends_with(" end")) << "torn line: " << line;
     }
     EXPECT_LE(emitted, kThreads * kLinesPerThread);
+}
+
+TEST(LogSink, PoolWorkersLoggingThroughTheTraceBridgeAreRaceFree) {
+    // TSan regression for the log tap: with the trace bridges installed,
+    // every pool worker logs through the process-wide tap while bound to
+    // its OWN recorder.  The tap itself is an atomic load and each
+    // recorder is thread-confined, so this must be race-free — and every
+    // line a worker logged must land on that worker's track, nobody
+    // else's.
+    constexpr int kTasks = 32;
+    const LevelGuard guard;
+    const CerrCapture capture;
+    set_log_level(LogLevel::Info);
+    const trace::ScopedBridges bridges;
+
+    trace::TraceSession session;
+    std::vector<trace::TraceRecorder*> recorders;
+    recorders.reserve(kTasks);
+    for (int t = 0; t < kTasks; ++t)
+        recorders.push_back(&session.create_track("task-" + std::to_string(t),
+                                                  static_cast<std::uint64_t>(t)));
+
+    {
+        ThreadPool pool(4);
+        std::vector<std::future<void>> futures;
+        futures.reserve(kTasks);
+        for (int t = 0; t < kTasks; ++t) {
+            futures.push_back(pool.submit([t, &recorders] {
+                trace::ScopedRecorder bind(recorders[static_cast<std::size_t>(t)]);
+                for (int i = 0; i < 25; ++i) log_info("task-", t, " line ", i);
+            }));
+        }
+        for (auto& f : futures) f.get();
+    }
+
+    for (int t = 0; t < kTasks; ++t) {
+        const auto events = recorders[static_cast<std::size_t>(t)]->events();
+        ASSERT_EQ(events.size(), 25u) << "track " << t;
+        const std::string expected_prefix = "task-" + std::to_string(t) + " line ";
+        for (const trace::Event& e : events) {
+            EXPECT_EQ(e.kind, trace::EventKind::LogRecord);
+            EXPECT_TRUE(std::string_view(e.name).starts_with(expected_prefix))
+                << "cross-thread leak onto track " << t << ": " << e.name;
+        }
+    }
 }
 
 }  // namespace
