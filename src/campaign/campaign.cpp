@@ -31,6 +31,7 @@ namespace {
 /// collide on one mix level.
 constexpr std::uint64_t kMapSeedTag = 0xC0DE'0001;
 constexpr std::uint64_t kAttackRngTag = 0xC0DE'0002;
+constexpr std::uint64_t kRetryBackoffTag = 0xC0DE'0003;
 
 /// Everything one cell holds alive while its attack runs.  Member order
 /// is teardown order in reverse: the machine must outlive every consumer.
@@ -260,6 +261,11 @@ std::uint64_t fingerprint(const CampaignCellResult& cell) {
         hasher.mix(cell.polling->restore_writes);
         hasher.mix(cell.polling->freq_drops);
         hasher.mix(cell.polling->rail_watch_detections);
+        hasher.mix(cell.polling->read_retries);
+        hasher.mix(cell.polling->write_retries);
+        hasher.mix(cell.polling->stale_reads);
+        hasher.mix(cell.polling->missed_polls);
+        hasher.mix(cell.polling->fail_closed_clamps);
         hasher.mix(cell.polling->last_detection.value());
     }
     hasher.mix(cell.audit_violations);
@@ -286,6 +292,8 @@ CampaignEngine::CampaignEngine(CampaignConfig config) : config_(std::move(config
         throw ConfigError("campaign cube must have at least one attack, defense and profile");
     if (config_.max_attempts == 0)
         throw ConfigError("campaign max_attempts must be at least 1");
+    config_.retry.max_attempts = config_.max_attempts;
+    config_.retry.validate();
     if (config_.workers == 0) config_.workers = ThreadPool::default_worker_count();
     maps_.resize(config_.profiles.size());
 }
@@ -354,12 +362,23 @@ CampaignCellResult CampaignEngine::run_cell(const CellSpec& spec) {
                    static_cast<std::uint64_t>(spec.defense));
     std::int64_t cell_end_ps = 0;
 
-    for (unsigned attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    resilience::RetrySchedule sched(config_.retry, mix_seed(spec.seed, kRetryBackoffTag));
+    while (sched.next_attempt()) {
+        const unsigned attempt = sched.attempts() - 1;
         // Attempt seeds derive from the cell seed, so the retry loop is
         // as deterministic as the first try: a cell that dies on attempt
         // 0 dies identically on every replay, and its attempt-1 outcome
         // is a pure function of (config, cell) too.
         CellRig rig(profile, mix_seed(spec.seed, attempt));
+        if (sched.backoff() > Picoseconds{0}) {
+            // Reboot pacing: the operator waits out the backoff before
+            // re-arming the cell, charged on the fresh machine's clock so
+            // retried cells replay bit-exactly.
+            PV_TRACE_EVENT(trace::EventKind::RetryBackoff, "cell-rebuild-backoff",
+                           rig.machine.now().value(),
+                           static_cast<std::uint64_t>(sched.backoff().value()), attempt);
+            rig.machine.advance(sched.backoff());
+        }
         install_defense(rig, spec.defense, map);
         if (config_.audit) {
             check::MsrAuditorConfig audit_cfg;

@@ -35,6 +35,7 @@
 #include "attacks/attack.hpp"
 #include "plugvolt/polling_module.hpp"
 #include "plugvolt/safe_state.hpp"
+#include "resilience/retry.hpp"
 #include "sim/cpu_profile.hpp"
 #include "trace/metrics.hpp"
 
@@ -113,6 +114,12 @@ struct CampaignConfig {
     /// Crash-tolerant retry: rebuild the Machine and re-run the cell up
     /// to this many total attempts when it ends with a dead machine.
     unsigned max_attempts = 3;
+    /// Backoff between rebuild attempts (max_attempts above overrides
+    /// the policy's own budget).  The delay models the reboot pacing a
+    /// physical campaign pays and is charged on the rebuilt machine's
+    /// virtual clock — deterministically, so retried cells still replay
+    /// bit-exactly.
+    resilience::RetryPolicy retry{};
     /// Resolution of the per-profile safe-state maps the defenses (and
     /// map-driven attacks) are armed with.
     Millivolts char_step{2.0};

@@ -1,9 +1,9 @@
 #include "campaign/report.hpp"
 
-#include <fstream>
 #include <sstream>
 
 #include "check/state_hasher.hpp"
+#include "util/fsio.hpp"
 
 namespace pv::campaign {
 namespace {
@@ -130,14 +130,14 @@ std::string CampaignReport::to_json() const {
 }
 
 std::string CampaignReport::write_csv(const std::string& path) const {
-    std::ofstream out(path);
-    out << to_csv();
+    // Atomic (temp-file + rename): a campaign killed mid-report leaves
+    // the previous report intact, never a torn one.
+    atomic_write_file(path, to_csv());
     return path;
 }
 
 std::string CampaignReport::write_json(const std::string& path) const {
-    std::ofstream out(path);
-    out << to_json();
+    atomic_write_file(path, to_json());
     return path;
 }
 

@@ -6,14 +6,58 @@
 // prices are the first of the paper's two turnaround-time contributors
 // (Sec. 5), and they are also what the Table 2 overhead is made of —
 // so the driver charges them to the calling core as stolen cycles.
+//
+// The driver is also where the ENVIRONMENT fails: EIO from the msr
+// device, IPI timeouts, stale status reads, a busy OCM mailbox.  The
+// try_* API surfaces those as MsrStatus values (domain outcomes are
+// values, never exceptions) and a resilience::FaultInjector can be
+// attached to produce them deterministically; the legacy throwing API
+// wraps try_* and raises DriverError.  With no injector attached every
+// access is bit-for-bit the pre-injection fast path.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 
+#include "resilience/fault_injection.hpp"
 #include "sim/cpu_profile.hpp"
 #include "sim/machine.hpp"
 
 namespace pv::os {
+
+/// Outcome of one driver-level MSR access.
+enum class MsrStatus : std::uint8_t {
+    Ok,       ///< access completed (value served / write delivered)
+    IoError,  ///< the device returned EIO; nothing happened
+    Busy,     ///< OC mailbox busy bit stuck; write bounced
+    Timeout,  ///< cross-core IPI stalled out; extra cycles were burned
+};
+
+[[nodiscard]] const char* to_string(MsrStatus status);
+
+struct MsrReadResult {
+    MsrStatus status = MsrStatus::Ok;
+    std::uint64_t value = 0;
+    /// True when an injected torn read served the MSR's PREVIOUS value.
+    bool stale = false;
+};
+
+struct MsrWriteResult {
+    MsrStatus status = MsrStatus::Ok;
+    /// Machine-level write hook outcome (false if a hook ignored it);
+    /// only meaningful when status == Ok.
+    bool applied = false;
+};
+
+/// Per-driver environment-fault counters (what the injector produced).
+struct MsrFaultCounters {
+    std::uint64_t read_errors = 0;
+    std::uint64_t write_errors = 0;
+    std::uint64_t read_timeouts = 0;
+    std::uint64_t write_timeouts = 0;
+    std::uint64_t stale_reads = 0;
+    std::uint64_t mailbox_busy = 0;
+};
 
 /// Passive tap on driver-level MSR traffic.  Observers see every access
 /// that goes through this driver (the legitimate software path); traffic
@@ -40,18 +84,35 @@ public:
     MsrObserver* set_observer(MsrObserver* observer);
     [[nodiscard]] MsrObserver* observer() const { return observer_; }
 
+    /// Attach/detach the environment fault source (non-owning; at most
+    /// one).  Returns the previously attached injector, if any.
+    resilience::FaultInjector* set_fault_injector(resilience::FaultInjector* injector);
+    [[nodiscard]] resilience::FaultInjector* fault_injector() const { return injector_; }
+
     /// Kernel-context rdmsr of `target_cpu`'s MSR from `caller_cpu`.
     /// Remote targets pay the IPI price (smp_call_function_single).
-    [[nodiscard]] std::uint64_t rdmsr(unsigned caller_cpu, unsigned target_cpu,
-                                      std::uint32_t addr);
+    /// Never throws on environment faults: the status says what happened.
+    [[nodiscard]] MsrReadResult try_rdmsr(unsigned caller_cpu, unsigned target_cpu,
+                                          std::uint32_t addr);
 
-    /// Kernel-context wrmsr; returns false if a write hook ignored it.
-    bool wrmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
-               std::uint64_t value);
+    /// Kernel-context wrmsr; environment faults surface in the status.
+    MsrWriteResult try_wrmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
+                             std::uint64_t value);
 
     /// Userspace path (open /dev/cpu/N/msr + ioctl): same access plus the
     /// user->kernel transition overhead.  This is what the published
     /// attack PoCs use.
+    [[nodiscard]] MsrReadResult try_ioctl_rdmsr(unsigned caller_cpu, unsigned target_cpu,
+                                                std::uint32_t addr);
+    MsrWriteResult try_ioctl_wrmsr(unsigned caller_cpu, unsigned target_cpu,
+                                   std::uint32_t addr, std::uint64_t value);
+
+    /// Legacy throwing API: same accesses, but a non-Ok status raises
+    /// DriverError.  Unchanged behaviour when no injector is attached.
+    [[nodiscard]] std::uint64_t rdmsr(unsigned caller_cpu, unsigned target_cpu,
+                                      std::uint32_t addr);
+    bool wrmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
+               std::uint64_t value);
     [[nodiscard]] std::uint64_t ioctl_rdmsr(unsigned caller_cpu, unsigned target_cpu,
                                             std::uint32_t addr);
     bool ioctl_wrmsr(unsigned caller_cpu, unsigned target_cpu, std::uint32_t addr,
@@ -65,11 +126,25 @@ public:
     /// Total cycles this driver has charged since construction.
     [[nodiscard]] std::uint64_t total_cost_cycles() const { return total_cycles_; }
 
+    /// Environment faults this driver surfaced (all injector-produced).
+    [[nodiscard]] const MsrFaultCounters& fault_counters() const { return faults_; }
+
+    /// Forget the stale-read history.  Call at experiment boundaries
+    /// (e.g. between sweep cells) so a torn read can never serve a value
+    /// recorded by a previous, unrelated experiment — that would make
+    /// outcomes depend on probe order and worker assignment.
+    void clear_stale_cache() { last_value_.clear(); }
+
 private:
     void charge(unsigned cpu, std::uint64_t cycles);
 
     sim::Machine& machine_;
     MsrObserver* observer_ = nullptr;
+    resilience::FaultInjector* injector_ = nullptr;
+    /// Last true value per (target_cpu, addr), tracked only while an
+    /// injector is attached — the value a StaleRead serves.
+    std::unordered_map<std::uint64_t, std::uint64_t> last_value_;
+    MsrFaultCounters faults_;
     std::uint64_t total_cycles_ = 0;
 };
 

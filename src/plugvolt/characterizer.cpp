@@ -1,10 +1,14 @@
 #include "plugvolt/characterizer.hpp"
 
+#include <bit>
 #include <cmath>
+#include <string>
 
 #include "sim/ocm.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace pv::plugvolt {
 
@@ -21,6 +25,32 @@ Characterizer::Characterizer(os::Kernel& kernel, CharacterizerConfig config)
     const unsigned cores = kernel.machine().core_count();
     if (config_.dvfs_core >= cores || config_.execute_core >= cores)
         throw ConfigError("characterizer core out of range");
+    config_.retry.validate();
+}
+
+bool Characterizer::command_offset(Millivolts offset, std::uint64_t salt) {
+    sim::Machine& m = kernel_.machine();
+    const std::uint64_t raw = sim::encode_offset(offset, sim::VoltagePlane::Core);
+    resilience::RetrySchedule sched(config_.retry, salt);
+    os::MsrStatus last = os::MsrStatus::Ok;
+    while (sched.next_attempt()) {
+        if (sched.backoff() > Picoseconds{0}) {
+            PV_TRACE_EVENT(trace::EventKind::RetryBackoff, "mailbox-retry",
+                           m.now().value(),
+                           static_cast<std::uint64_t>(sched.backoff().value()),
+                           sched.attempts());
+            m.advance(sched.backoff());
+            if (m.crashed()) return false;
+        }
+        const os::MsrWriteResult r = kernel_.msr().try_ioctl_wrmsr(
+            config_.dvfs_core, config_.dvfs_core, sim::kMsrOcMailbox, raw);
+        if (r.status == os::MsrStatus::Ok) return true;
+        last = r.status;
+        ++msr_retries_;
+    }
+    throw DriverError("mailbox write failed after " +
+                      std::to_string(config_.retry.max_attempts) + " attempts: " +
+                      os::to_string(last));
 }
 
 CellResult Characterizer::test_cell(Megahertz f, Millivolts offset) {
@@ -33,9 +63,13 @@ CellResult Characterizer::test_cell(Megahertz f, Millivolts offset) {
     if (m.crashed()) return {0, true};
 
     // DVFS thread, step 2: command the undervolt through the userspace
-    // msr-tools path (Algo. 1 encoding + ioctl wrmsr to 0x150).
-    const std::uint64_t raw = sim::encode_offset(offset, sim::VoltagePlane::Core);
-    kernel_.msr().ioctl_wrmsr(config_.dvfs_core, config_.dvfs_core, sim::kMsrOcMailbox, raw);
+    // msr-tools path (Algo. 1 encoding + ioctl wrmsr to 0x150), retrying
+    // environment faults.  The backoff salt is a pure function of the
+    // cell so replays don't depend on sweep order or worker assignment.
+    const std::uint64_t cell_salt =
+        mix_seed(std::bit_cast<std::uint64_t>(f.value()),
+                 std::bit_cast<std::uint64_t>(offset.value()));
+    if (!command_offset(offset, cell_salt)) return {0, true};
 
     // Let the rails settle (offset ramp and any pending P-state raise).
     const Picoseconds settle = m.rail_settle_time();
@@ -51,10 +85,8 @@ CellResult Characterizer::test_cell(Megahertz f, Millivolts offset) {
 
     // DVFS thread, step 3: restore nominal voltage (Algo. 2 lines 13-14).
     if (!m.crashed()) {
-        const std::uint64_t zero =
-            sim::encode_offset(Millivolts{0.0}, sim::VoltagePlane::Core);
-        kernel_.msr().ioctl_wrmsr(config_.dvfs_core, config_.dvfs_core, sim::kMsrOcMailbox,
-                                  zero);
+        if (!command_offset(Millivolts{0.0}, mix_seed(cell_salt, 1)))
+            return {batch.faults, true};
         const Picoseconds restore = m.rail_settle_time();
         if (restore > m.now()) m.advance_to(restore);
     }

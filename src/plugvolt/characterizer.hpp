@@ -15,6 +15,7 @@
 #include "os/cpupower.hpp"
 #include "os/kernel.hpp"
 #include "plugvolt/safe_state.hpp"
+#include "resilience/retry.hpp"
 
 namespace pv::plugvolt {
 
@@ -36,6 +37,11 @@ struct CharacterizerConfig {
     /// taken at the maximum expected die temperature stays conservative
     /// at runtime (see bench_thermal).
     double die_preheat_c = 0.0;
+    /// Retry budget for the mailbox writes that drive each cell.  An
+    /// injected EIO / busy mailbox / IPI timeout is retried after a
+    /// deterministic backoff (charged on the machine clock); only an
+    /// exhausted budget aborts the sweep with DriverError.
+    resilience::RetryPolicy retry{};
 };
 
 /// Result of probing one (frequency, offset) cell.
@@ -71,6 +77,10 @@ public:
     /// Number of machine crashes (reboots) the last sweep caused.
     [[nodiscard]] unsigned crash_count() const { return crash_count_; }
 
+    /// Non-Ok mailbox write attempts absorbed by the retry budget since
+    /// construction (0 unless a fault injector is attached upstream).
+    [[nodiscard]] std::uint64_t msr_retries() const { return msr_retries_; }
+
     /// Number of offset steps one full column visits (floor / step).
     [[nodiscard]] std::uint64_t sweep_steps() const;
 
@@ -88,10 +98,19 @@ public:
     [[nodiscard]] const CharacterizerConfig& config() const { return config_; }
 
 private:
+    /// Command `offset` on the Core plane through the mailbox, retrying
+    /// environment faults per config_.retry with backoffs salted by
+    /// `salt` (a pure function of the cell, so injected-fault runs
+    /// replay bit-exactly regardless of worker assignment).  Returns
+    /// false when the machine crashed while waiting out a backoff;
+    /// throws DriverError once the budget is exhausted.
+    bool command_offset(Millivolts offset, std::uint64_t salt);
+
     os::Kernel& kernel_;
     os::Cpupower cpupower_;
     CharacterizerConfig config_;
     unsigned crash_count_ = 0;
+    std::uint64_t msr_retries_ = 0;
 };
 
 }  // namespace pv::plugvolt

@@ -2,17 +2,27 @@
 
 #include <future>
 #include <memory>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "check/assert.hpp"
+#include "check/state_hasher.hpp"
 #include "os/kernel.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pv::plugvolt {
+namespace {
+
+/// Salt mixed into the cell seed to derive the per-cell injector seed:
+/// keeps the fault stream independent of the machine's own RNG stream.
+constexpr std::uint64_t kFaultSeedTag = 0xFA'5EED;
+
+}  // namespace
 
 const char* to_string(SweepMode mode) {
     switch (mode) {
@@ -27,9 +37,15 @@ const char* to_string(SweepMode mode) {
 class ParallelCharacterizer::Worker {
 public:
     Worker(const sim::CpuProfile& profile, const CharacterizerConfig& cell_config,
-           std::uint64_t boot_seed)
+           std::uint64_t boot_seed,
+           const std::optional<resilience::FaultPlan>& fault_plan)
         : context_(os::make_worker_context(profile, boot_seed)),
-          characterizer_(*context_.kernel, cell_config) {}
+          characterizer_(*context_.kernel, cell_config) {
+        if (fault_plan) {
+            injector_.emplace(*fault_plan);
+            context_.kernel->msr().set_fault_injector(&*injector_);
+        }
+    }
 
     /// Start a new frequency row: forget cached probes.
     void begin_row(Megahertz f, std::uint64_t row_seed) {
@@ -38,6 +54,7 @@ public:
         memo_.clear();
         cells_ = 0;
         crashes_ = 0;
+        retry_base_ = characterizer_.msr_retries();
     }
 
     /// Probe offset step `s` of the current row from a fresh boot with
@@ -46,7 +63,15 @@ public:
     [[nodiscard]] const CellResult& probe(std::uint64_t s) {
         const auto it = memo_.find(s);
         if (it != memo_.end()) return it->second;
-        context_.machine->reset(mix_seed(row_seed_, s));
+        const std::uint64_t cell_seed = mix_seed(row_seed_, s);
+        context_.machine->reset(cell_seed);
+        if (injector_) {
+            // The fault stream and stale-read history restart with the
+            // cell, so which accesses fault is a pure function of
+            // (plan, cell) — no cross-cell leakage via probe order.
+            injector_->reseed(mix_seed(cell_seed, kFaultSeedTag));
+            context_.kernel->msr().clear_stale_cache();
+        }
         const CellResult cell =
             characterizer_.test_cell(freq_, characterizer_.offset_at_step(s));
         ++cells_;
@@ -57,15 +82,24 @@ public:
     [[nodiscard]] const Characterizer& characterizer() const { return characterizer_; }
     [[nodiscard]] std::uint64_t cells() const { return cells_; }
     [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+    /// Mailbox retries absorbed during the current row.
+    [[nodiscard]] std::uint64_t row_retries() const {
+        return characterizer_.msr_retries() - retry_base_;
+    }
+    [[nodiscard]] std::uint64_t env_faults() const {
+        return injector_ ? injector_->injected_total() : 0;
+    }
 
 private:
     os::WorkerContext context_;
     Characterizer characterizer_;
+    std::optional<resilience::FaultInjector> injector_;
     Megahertz freq_{};
     std::uint64_t row_seed_ = 0;
     std::unordered_map<std::uint64_t, CellResult> memo_;
     std::uint64_t cells_ = 0;
     std::uint64_t crashes_ = 0;
+    std::uint64_t retry_base_ = 0;
 };
 
 ParallelCharacterizer::ParallelCharacterizer(sim::CpuProfile profile,
@@ -74,6 +108,7 @@ ParallelCharacterizer::ParallelCharacterizer(sim::CpuProfile profile,
     if (config_.workers == 0) config_.workers = ThreadPool::default_worker_count();
     if (config_.refine_window == 0)
         throw ConfigError("refine_window must cover at least one step");
+    if (config_.fault_plan) config_.fault_plan->validate();
     // Validate the cell protocol eagerly (same checks a Characterizer
     // would apply) so misconfiguration surfaces here, not on a worker.
     sim::Machine probe_machine(profile_, /*seed=*/0);
@@ -110,7 +145,7 @@ ParallelCharacterizer::RowOutcome ParallelCharacterizer::characterize_row(
                 row.fault_free = false;
             }
         }
-        return RowOutcome{row, worker.cells(), worker.crashes()};
+        return RowOutcome{row, worker.cells(), worker.crashes(), worker.row_retries()};
     }
 
     // --- Bisection mode -------------------------------------------------
@@ -173,13 +208,86 @@ ParallelCharacterizer::RowOutcome ParallelCharacterizer::characterize_row(
     } else if (s_crash <= steps) {
         row.onset = row.crash;  // faults and crash within one step
     }
-    return RowOutcome{row, worker.cells(), worker.crashes()};
+    return RowOutcome{row, worker.cells(), worker.crashes(), worker.row_retries()};
+}
+
+std::uint64_t ParallelCharacterizer::config_hash() const {
+    check::StateHasher h;
+    h.mix(std::string_view(profile_.name));
+    const std::vector<Megahertz> table = profile_.frequency_table();
+    h.mix(static_cast<std::uint64_t>(table.size()));
+    for (const Megahertz f : table) h.mix(f.value());
+    h.mix(config_.cell.sweep_floor.value());
+    h.mix(config_.cell.offset_step.value());
+    h.mix(config_.cell.ops_per_cell);
+    h.mix(static_cast<std::uint64_t>(config_.cell.dvfs_core));
+    h.mix(static_cast<std::uint64_t>(config_.cell.execute_core));
+    h.mix(static_cast<std::uint64_t>(config_.cell.instr_class));
+    h.mix(config_.cell.die_preheat_c);
+    h.mix(static_cast<std::uint64_t>(config_.cell.retry.max_attempts));
+    h.mix(static_cast<std::uint64_t>(config_.cell.retry.base_delay.value()));
+    h.mix(config_.cell.retry.multiplier);
+    h.mix(static_cast<std::uint64_t>(config_.cell.retry.max_delay.value()));
+    h.mix(config_.cell.retry.jitter);
+    h.mix(config_.seed);
+    h.mix(static_cast<std::uint64_t>(config_.mode));
+    h.mix(config_.refine_window);
+    h.mix(config_.fault_plan.has_value());
+    if (config_.fault_plan) {
+        h.mix(config_.fault_plan->seed);
+        for (const double r : config_.fault_plan->rates) h.mix(r);
+    }
+    return h.digest();
+}
+
+resilience::JournalHeader ParallelCharacterizer::journal_header() const {
+    resilience::JournalHeader header;
+    header.config_hash = config_hash();
+    header.seed = config_.seed;
+    header.sweep_floor_mv = config_.cell.sweep_floor.value();
+    header.system_name = profile_.name;
+    return header;
 }
 
 SafeStateMap ParallelCharacterizer::characterize(
     const std::function<void(const FreqCharacterization&)>& progress) {
+    return run_sweep(nullptr, progress);
+}
+
+SafeStateMap ParallelCharacterizer::characterize(
+    resilience::SweepJournal& journal,
+    const std::function<void(const FreqCharacterization&)>& progress) {
+    return run_sweep(&journal, progress);
+}
+
+SafeStateMap ParallelCharacterizer::resume(
+    resilience::SweepJournal& journal,
+    const std::function<void(const FreqCharacterization&)>& progress) {
+    return run_sweep(&journal, progress);
+}
+
+SafeStateMap ParallelCharacterizer::run_sweep(
+    resilience::SweepJournal* journal,
+    const std::function<void(const FreqCharacterization&)>& progress) {
     const std::vector<Megahertz> table = profile_.frequency_table();
     stats_ = {};
+
+    // Rows already durable in the journal are adopted, not re-probed.
+    std::unordered_map<std::uint64_t, resilience::RowRecord> done;
+    std::uint64_t journal_bytes_base = 0;
+    if (journal != nullptr) {
+        if (journal->header().config_hash != config_hash())
+            throw ConfigError(
+                "journal config_hash does not match this sweep's configuration");
+        journal_bytes_base = journal->bytes_written();
+        for (const resilience::RowRecord& rec : journal->rows()) {
+            if (rec.row_index >= table.size() ||
+                rec.freq_mhz != table[rec.row_index].value())
+                throw JournalError("journal row " + std::to_string(rec.row_index) +
+                                   " does not match the frequency table");
+            done.emplace(rec.row_index, rec);
+        }
+    }
 
     // One simulator per worker thread, all from the same profile; the
     // boot seed is irrelevant to results (every probe re-seeds) but kept
@@ -189,15 +297,18 @@ SafeStateMap ParallelCharacterizer::characterize(
     workers.reserve(config_.workers);
     for (unsigned w = 0; w < config_.workers; ++w)
         workers.push_back(std::make_unique<Worker>(profile_, config_.cell,
-                                                   mix_seed(config_.seed, 1'000'000 + w)));
+                                                   mix_seed(config_.seed, 1'000'000 + w),
+                                                   config_.fault_plan));
     ThreadPool pool(config_.workers);
 
-    std::vector<std::future<RowOutcome>> futures;
-    futures.reserve(table.size());
+    // Futures stay positional (index == row); adopted rows leave theirs
+    // invalid.  Collection below walks rows in frequency order.
+    std::vector<std::future<RowOutcome>> futures(table.size());
     for (std::size_t i = 0; i < table.size(); ++i) {
+        if (done.contains(i)) continue;
         const Megahertz f = table[i];
         const std::uint64_t row_seed = mix_seed(config_.seed, i);
-        futures.push_back(pool.submit([this, &workers, f, row_seed] {
+        futures[i] = pool.submit([this, &workers, f, row_seed] {
             // The workers vector is shared across threads but strictly
             // partitioned by worker index: each pool thread only ever
             // touches its own Worker, so no lock is needed — the index
@@ -207,18 +318,50 @@ SafeStateMap ParallelCharacterizer::characterize(
                       "row task ran outside the pool: worker index " << w << " of "
                                                                      << workers.size());
             return characterize_row(*workers[static_cast<std::size_t>(w)], f, row_seed);
-        }));
+        });
     }
 
     SafeStateMap map(profile_.name, config_.cell.sweep_floor);
-    for (auto& future : futures) {
-        RowOutcome outcome = future.get();  // rethrows worker exceptions
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        ++stats_.rows;
+        if (const auto it = done.find(i); it != done.end()) {
+            const resilience::RowRecord& rec = it->second;
+            const FreqCharacterization row{
+                .freq = Megahertz{rec.freq_mhz},
+                .onset = Millivolts{rec.onset_mv},
+                .crash = Millivolts{rec.crash_mv},
+                .fault_free = rec.fault_free,
+            };
+            ++stats_.rows_resumed;
+            map.add(row);
+            if (progress) progress(row);
+            continue;
+        }
+        RowOutcome outcome = futures[i].get();  // rethrows worker exceptions
         stats_.cells_evaluated += outcome.cells;
         stats_.crash_probes += outcome.crashes;
-        ++stats_.rows;
+        stats_.msr_retries += outcome.retries;
+        if (journal != nullptr) {
+            // Commit BEFORE the progress callback: if the process dies
+            // anywhere past this point the row is already durable, which
+            // is what makes kill-at-any-point + resume == uninterrupted.
+            journal->commit(resilience::RowRecord{
+                .row_index = i,
+                .freq_mhz = outcome.row.freq.value(),
+                .onset_mv = outcome.row.onset.value(),
+                .crash_mv = outcome.row.crash.value(),
+                .fault_free = outcome.row.fault_free,
+                .cells = outcome.cells,
+                .crashes = outcome.crashes,
+            });
+            ++stats_.journal_commits;
+        }
         map.add(outcome.row);
         if (progress) progress(outcome.row);
     }
+    for (const auto& worker : workers) stats_.env_faults += worker->env_faults();
+    if (journal != nullptr)
+        stats_.journal_bytes = journal->bytes_written() - journal_bytes_base;
     return map;
 }
 

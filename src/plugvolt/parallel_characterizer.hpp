@@ -42,9 +42,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "plugvolt/characterizer.hpp"
 #include "plugvolt/safe_state.hpp"
+#include "resilience/fault_injection.hpp"
+#include "resilience/journal.hpp"
 #include "sim/cpu_profile.hpp"
 
 namespace pv::plugvolt {
@@ -69,6 +72,11 @@ struct ParallelCharacterizerConfig {
     /// offset steps.  Must cover the stochastic observability band (a
     /// few steps at 1 mV resolution); the equality tests pin it down.
     std::uint64_t refine_window = 8;
+    /// Environment fault plan applied to every worker's MSR driver.
+    /// The injector is reseeded per cell from the cell seed, so which
+    /// accesses fault is a pure function of (plan, cell) — independent
+    /// of worker count and probe order, like the cells themselves.
+    std::optional<resilience::FaultPlan> fault_plan;
 };
 
 /// Aggregate cost counters of one sweep (the quantities the bench
@@ -77,6 +85,11 @@ struct SweepStats {
     std::uint64_t cells_evaluated = 0;  ///< cell probes actually run
     std::uint64_t crash_probes = 0;     ///< probes that ended in a crash-reboot
     std::uint64_t rows = 0;             ///< frequency columns characterized
+    std::uint64_t rows_resumed = 0;     ///< columns adopted from a journal
+    std::uint64_t msr_retries = 0;      ///< faulted mailbox writes retried
+    std::uint64_t env_faults = 0;       ///< environment faults injected
+    std::uint64_t journal_commits = 0;  ///< row frames committed this run
+    std::uint64_t journal_bytes = 0;    ///< bytes physically written this run
 };
 
 /// The sharded Algorithm 2 driver.
@@ -90,6 +103,33 @@ public:
     [[nodiscard]] SafeStateMap characterize(
         const std::function<void(const FreqCharacterization&)>& progress = {});
 
+    /// Journaled sweep: every completed column is committed to `journal`
+    /// BEFORE the progress callback sees it, so a crash at any point
+    /// leaves all delivered rows durable.  Columns already present in
+    /// the journal are adopted bit-for-bit instead of being re-probed —
+    /// so calling this on a journal recovered after a crash IS the
+    /// resume path, and the result is cell-identical to an
+    /// uninterrupted sweep.  Throws ConfigError when the journal's
+    /// config_hash does not match this sweep's configuration.
+    [[nodiscard]] SafeStateMap characterize(
+        resilience::SweepJournal& journal,
+        const std::function<void(const FreqCharacterization&)>& progress = {});
+
+    /// Semantic alias of the journaled characterize() for the recovery
+    /// call site: resume a sweep from a journal recovered off disk.
+    [[nodiscard]] SafeStateMap resume(
+        resilience::SweepJournal& journal,
+        const std::function<void(const FreqCharacterization&)>& progress = {});
+
+    /// Fingerprint of everything that determines sweep RESULTS (profile,
+    /// frequency table, cell protocol, seed, mode, refine window, fault
+    /// plan — NOT worker count).  A journal is only resumable into a
+    /// sweep with the same hash.
+    [[nodiscard]] std::uint64_t config_hash() const;
+
+    /// Header for a fresh journal of this sweep.
+    [[nodiscard]] resilience::JournalHeader journal_header() const;
+
     /// Counters of the last characterize() call.
     [[nodiscard]] const SweepStats& stats() const { return stats_; }
 
@@ -101,11 +141,16 @@ private:
         FreqCharacterization row;
         std::uint64_t cells = 0;
         std::uint64_t crashes = 0;
+        std::uint64_t retries = 0;
     };
     class Worker;
 
     [[nodiscard]] RowOutcome characterize_row(Worker& worker, Megahertz f,
                                               std::uint64_t row_seed) const;
+
+    [[nodiscard]] SafeStateMap run_sweep(
+        resilience::SweepJournal* journal,
+        const std::function<void(const FreqCharacterization&)>& progress);
 
     sim::CpuProfile profile_;
     ParallelCharacterizerConfig config_;

@@ -7,6 +7,7 @@
 #include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace pv::plugvolt {
 
@@ -20,18 +21,99 @@ PollingModule::PollingModule(SafeStateMap map, PollingConfig config)
     if (map_.rows().empty()) throw ConfigError("polling module needs a characterized map");
     if (config_.watch_measured_rail && !config_.nominal_rail)
         throw ConfigError("rail watchdog needs the fused VF table");
+    config_.driver_retry.validate();
     maximal_safe_ = map_.maximal_safe_offset(config_.guard_band);
+}
+
+void PollingModule::stall(os::Kernel& kernel, unsigned cpu, Picoseconds delay) {
+    const double f_mhz = kernel.machine().profile().freq_base.value();
+    kernel.machine().add_steal(
+        cpu, Cycles{static_cast<std::uint64_t>(
+                 static_cast<double>(delay.value()) * f_mhz * 1e-6)});
+}
+
+std::optional<std::uint64_t> PollingModule::read_msr(os::Kernel& kernel,
+                                                     unsigned poller_cpu,
+                                                     unsigned target_cpu,
+                                                     std::uint32_t addr) {
+    os::MsrDriver& msr = kernel.msr();
+    resilience::RetrySchedule sched(
+        config_.driver_retry, mix_seed(mix_seed(config_.retry_seed, metrics_.polls), addr));
+    while (sched.next_attempt()) {
+        if (sched.backoff() > Picoseconds{0}) {
+            stall(kernel, poller_cpu, sched.backoff());
+            PV_TRACE_EVENT(trace::EventKind::RetryBackoff, "poll-read-retry",
+                           kernel.machine().now().value(), addr, sched.attempts());
+        }
+        const os::MsrReadResult r = msr.try_rdmsr(poller_cpu, target_cpu, addr);
+        if (r.status == os::MsrStatus::Ok) {
+            if (r.stale) ++metrics_.stale_reads;
+            return r.value;
+        }
+        ++metrics_.read_retries;
+    }
+    return std::nullopt;
+}
+
+bool PollingModule::write_msr(os::Kernel& kernel, unsigned poller_cpu,
+                              unsigned target_cpu, std::uint32_t addr,
+                              std::uint64_t value, bool* applied) {
+    os::MsrDriver& msr = kernel.msr();
+    resilience::RetrySchedule sched(
+        config_.driver_retry,
+        mix_seed(mix_seed(config_.retry_seed, ~metrics_.polls), addr));
+    while (sched.next_attempt()) {
+        if (sched.backoff() > Picoseconds{0}) {
+            stall(kernel, poller_cpu, sched.backoff());
+            PV_TRACE_EVENT(trace::EventKind::RetryBackoff, "poll-write-retry",
+                           kernel.machine().now().value(), addr, sched.attempts());
+        }
+        const os::MsrWriteResult r = msr.try_wrmsr(poller_cpu, target_cpu, addr, value);
+        if (r.status == os::MsrStatus::Ok) {
+            if (applied != nullptr) *applied = r.applied;
+            return true;
+        }
+        ++metrics_.write_retries;
+    }
+    return false;
+}
+
+void PollingModule::fail_closed(os::Kernel& kernel, unsigned poller_cpu,
+                                unsigned target_cpu) {
+    ++metrics_.missed_polls;
+    // Unknown state is treated as hostile state: with the status MSRs
+    // unreadable the module clamps the commanded offset to the maximal
+    // safe state (safe at EVERY frequency) instead of skipping the poll
+    // — the defense never dwells blind and unclamped beyond the read
+    // retry budget.
+    const std::uint64_t raw = sim::encode_offset(maximal_safe_, sim::VoltagePlane::Core);
+    bool applied = false;
+    if (write_msr(kernel, poller_cpu, target_cpu, sim::kMsrOcMailbox, raw, &applied) &&
+        applied) {
+        ++metrics_.fail_closed_clamps;
+        PV_TRACE_EVENT(trace::EventKind::SafeStateRewrite, "fail-closed-clamp",
+                       kernel.machine().now().value(), raw, target_cpu);
+    }
+    log_debug("plugvolt: poll of cpu ", target_cpu,
+              " lost its status reads; fail-closed clamp to ", maximal_safe_.value(),
+              " mV");
 }
 
 void PollingModule::clamp_frequencies(os::Kernel& kernel, unsigned poller_cpu,
                                       Megahertz f_safe) {
-    os::MsrDriver& msr = kernel.msr();
     const auto ratio = static_cast<std::uint64_t>(f_safe.value() / 100.0 + 0.5) & 0xFF;
     const unsigned cores = kernel.machine().core_count();
     for (unsigned cpu = 0; cpu < cores; ++cpu) {
-        const std::uint64_t cur = msr.rdmsr(poller_cpu, cpu, sim::kMsrPerfCtl);
-        if (static_cast<double>((cur >> 8) & 0xFF) * 100.0 <= f_safe.value()) continue;
-        if (msr.wrmsr(poller_cpu, cpu, sim::kMsrPerfCtl, ratio << 8)) {
+        // The read only exists to skip cores already at or below the
+        // limit; if it cannot be had, clamp unconditionally (writing a
+        // redundant safe ratio is harmless, skipping a hot core is not).
+        const std::optional<std::uint64_t> cur =
+            read_msr(kernel, poller_cpu, cpu, sim::kMsrPerfCtl);
+        if (cur && static_cast<double>((*cur >> 8) & 0xFF) * 100.0 <= f_safe.value())
+            continue;
+        bool applied = false;
+        if (write_msr(kernel, poller_cpu, cpu, sim::kMsrPerfCtl, ratio << 8, &applied) &&
+            applied) {
             ++metrics_.freq_drops;
             PV_TRACE_EVENT(trace::EventKind::FreqClamp, "freq-clamp",
                            kernel.machine().now().value(), cpu, ratio);
@@ -49,19 +131,30 @@ void PollingModule::poll_cpu(os::Kernel& kernel, unsigned poller_cpu, unsigned t
             poll_gap_us_.observe((poll_time - last_poll_[target_cpu]).microseconds());
         last_poll_[target_cpu] = poll_time;
     }
-    os::MsrDriver& msr = kernel.msr();
-
     // Algo. 3 lines 4-5: read frequency from 0x198 and offset from 0x150.
     // We additionally read the *requested* ratio from 0x199: a pending
     // P-state raise onto a deep offset is already an attack in flight
     // (VoltJockey direction) and must be caught before the PCU finishes
-    // ramping the rail up.
-    const std::uint64_t perf = msr.rdmsr(poller_cpu, target_cpu, sim::kMsrPerfStatus);
+    // ramping the rail up.  Each read retries per driver_retry; any read
+    // that exhausts its budget abandons the poll and fails closed.
+    const std::optional<std::uint64_t> perf_read =
+        read_msr(kernel, poller_cpu, target_cpu, sim::kMsrPerfStatus);
+    const std::optional<std::uint64_t> ctl_read =
+        perf_read ? read_msr(kernel, poller_cpu, target_cpu, sim::kMsrPerfCtl)
+                  : std::nullopt;
+    const std::optional<std::uint64_t> ocm_read =
+        ctl_read ? read_msr(kernel, poller_cpu, target_cpu, sim::kMsrOcMailbox)
+                 : std::nullopt;
+    if (!ocm_read) {
+        fail_closed(kernel, poller_cpu, target_cpu);
+        return;
+    }
+    const std::uint64_t perf = *perf_read;
     const Megahertz effective{static_cast<double>((perf >> 8) & 0xFF) * 100.0};
-    const std::uint64_t ctl = msr.rdmsr(poller_cpu, target_cpu, sim::kMsrPerfCtl);
+    const std::uint64_t ctl = *ctl_read;
     const Megahertz requested{static_cast<double>((ctl >> 8) & 0xFF) * 100.0};
     const Megahertz freq = std::max(effective, requested);
-    const std::uint64_t ocm = msr.rdmsr(poller_cpu, target_cpu, sim::kMsrOcMailbox);
+    const std::uint64_t ocm = *ocm_read;
     const auto req = sim::decode_offset(ocm);
     const Millivolts commanded = req ? req->offset : Millivolts{0.0};
     // The mailbox reports the deepest commanded plane; restores must
@@ -154,7 +247,9 @@ void PollingModule::poll_cpu(os::Kernel& kernel, unsigned poller_cpu, unsigned t
         case RestorePolicy::ClampToMaximalSafe: safe = maximal_safe_; break;
     }
     const std::uint64_t raw = sim::encode_offset(safe, plane);
-    if (msr.wrmsr(poller_cpu, target_cpu, sim::kMsrOcMailbox, raw)) {
+    bool applied = false;
+    if (write_msr(kernel, poller_cpu, target_cpu, sim::kMsrOcMailbox, raw, &applied) &&
+        applied) {
         ++metrics_.restore_writes;
         PV_TRACE_EVENT(trace::EventKind::SafeStateRewrite, "safe-state-rewrite",
                        kernel.machine().now().value(), raw,
@@ -171,6 +266,11 @@ trace::MetricsSnapshot PollingModule::metrics_snapshot() const {
     reg.counter("restore_writes") = metrics_.restore_writes;
     reg.counter("freq_drops") = metrics_.freq_drops;
     reg.counter("rail_watch_detections") = metrics_.rail_watch_detections;
+    reg.counter("read_retries") = metrics_.read_retries;
+    reg.counter("write_retries") = metrics_.write_retries;
+    reg.counter("stale_reads") = metrics_.stale_reads;
+    reg.counter("missed_polls") = metrics_.missed_polls;
+    reg.counter("fail_closed_clamps") = metrics_.fail_closed_clamps;
     reg.gauge("last_detection_us") = metrics_.last_detection.microseconds();
     trace::MetricsSnapshot out = reg.snapshot();
     auto freeze = [&out](const char* name, const trace::Histogram& h) {

@@ -24,6 +24,7 @@
 
 #include "os/kernel.hpp"
 #include "plugvolt/safe_state.hpp"
+#include "resilience/retry.hpp"
 #include "sim/vf_curve.hpp"
 #include "trace/metrics.hpp"
 
@@ -63,6 +64,14 @@ struct PollingConfig {
     /// to convert the measured voltage into an offset.  Required when
     /// watch_measured_rail is set.
     std::optional<sim::VfCurve> nominal_rail;
+
+    /// Retry budget for driver accesses inside one poll.  A read that
+    /// exhausts it FAIL-CLOSES: the module clamps the commanded offset
+    /// to the maximal safe state rather than dwell blind — an attacker
+    /// who can starve the status reads must not buy an unguarded window.
+    resilience::RetryPolicy driver_retry{};
+    /// Seed of the deterministic retry-jitter stream.
+    std::uint64_t retry_seed = 0x5AFE'0001;
 };
 
 /// Runtime counters exposed by the module (like a sysfs stats file).
@@ -72,6 +81,11 @@ struct PollingMetrics {
     std::uint64_t restore_writes = 0;   ///< 0x150 rewrites issued
     std::uint64_t freq_drops = 0;       ///< instant 0x199 safety clamps issued
     std::uint64_t rail_watch_detections = 0;  ///< hardware-injection residuals seen
+    std::uint64_t read_retries = 0;     ///< faulted status reads absorbed by retry
+    std::uint64_t write_retries = 0;    ///< faulted restore writes absorbed by retry
+    std::uint64_t stale_reads = 0;      ///< torn reads served a previous value
+    std::uint64_t missed_polls = 0;     ///< polls abandoned: read budget exhausted
+    std::uint64_t fail_closed_clamps = 0;  ///< maximal-safe clamps forced by misses
     Picoseconds last_detection{};       ///< timestamp of the latest detection
 };
 
@@ -104,6 +118,25 @@ private:
 
     /// Drop every core's requested frequency to at most `f_safe`.
     void clamp_frequencies(os::Kernel& kernel, unsigned poller_cpu, Megahertz f_safe);
+
+    /// Burn `delay` on `cpu` as stolen cycles (a kthread cannot advance
+    /// the machine clock from inside its own callback).
+    void stall(os::Kernel& kernel, unsigned cpu, Picoseconds delay);
+
+    /// Retried driver read; nullopt once the budget is exhausted (the
+    /// caller must fail closed, never act on unknown state).
+    [[nodiscard]] std::optional<std::uint64_t> read_msr(os::Kernel& kernel,
+                                                        unsigned poller_cpu,
+                                                        unsigned target_cpu,
+                                                        std::uint32_t addr);
+
+    /// Retried driver write; false once the budget is exhausted.
+    bool write_msr(os::Kernel& kernel, unsigned poller_cpu, unsigned target_cpu,
+                   std::uint32_t addr, std::uint64_t value, bool* applied);
+
+    /// The degradation path: a poll that cannot read its status MSRs
+    /// clamps the commanded offset to the maximal safe state.
+    void fail_closed(os::Kernel& kernel, unsigned poller_cpu, unsigned target_cpu);
 
     SafeStateMap map_;
     Millivolts last_commanded_{};   // rail-watch blanking state

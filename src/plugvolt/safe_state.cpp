@@ -2,12 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <utility>
 
 #include "check/state_hasher.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 
 namespace pv::plugvolt {
+namespace {
+
+/// Shortest decimal that round-trips the double bit-exactly: the file
+/// round trip must reproduce the same map hash the sweep computed.
+std::string fmt_double(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+}  // namespace
 
 const char* to_string(StateClass c) {
     switch (c) {
@@ -96,9 +110,8 @@ std::string SafeStateMap::to_csv() const {
     CsvDocument doc;
     doc.header = {"freq_mhz", "onset_mv", "crash_mv", "fault_free"};
     for (const auto& row : rows_) {
-        doc.rows.push_back({std::to_string(row.freq.value()),
-                            std::to_string(row.onset.value()),
-                            std::to_string(row.crash.value()),
+        doc.rows.push_back({fmt_double(row.freq.value()), fmt_double(row.onset.value()),
+                            fmt_double(row.crash.value()),
                             row.fault_free ? "1" : "0"});
     }
     return csv_write(doc);
@@ -119,6 +132,15 @@ SafeStateMap SafeStateMap::from_csv(const std::string& text, std::string system_
         });
     }
     return map;
+}
+
+void SafeStateMap::save_csv(const std::string& path) const {
+    atomic_write_file(path, to_csv());
+}
+
+SafeStateMap SafeStateMap::load_csv(const std::string& path, std::string system_name,
+                                    Millivolts sweep_floor) {
+    return from_csv(read_file(path), std::move(system_name), sweep_floor);
 }
 
 std::uint64_t state_hash(const SafeStateMap& map) {

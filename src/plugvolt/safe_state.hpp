@@ -84,6 +84,16 @@ public:
                                                std::string system_name,
                                                Millivolts sweep_floor);
 
+    /// File round trip: save_csv writes atomically (temp-file + rename,
+    /// util/fsio), so a crash mid-save can never leave a torn map for a
+    /// later PollingModule to arm.  load_csv throws IoError when the
+    /// file is unreadable and ConfigError when its contents are not a
+    /// map; the round trip is bit-exact (doubles print with max_digits10).
+    void save_csv(const std::string& path) const;
+    [[nodiscard]] static SafeStateMap load_csv(const std::string& path,
+                                               std::string system_name,
+                                               Millivolts sweep_floor);
+
 private:
     [[nodiscard]] const FreqCharacterization& nearest_row(Megahertz f) const;
 

@@ -1,0 +1,29 @@
+#include "resilience/crc32.hpp"
+
+#include <array>
+
+namespace pv::resilience {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes, std::uint32_t crc) {
+    crc = ~crc;
+    for (const char ch : bytes)
+        crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+    return ~crc;
+}
+
+}  // namespace pv::resilience

@@ -1,0 +1,20 @@
+// PlugVolt — CRC-32 (IEEE 802.3, reflected) frame checksums.
+//
+// The sweep journal frames every record with a CRC so that a crash mid-
+// append (a torn final record) is detected and dropped on replay instead
+// of corrupting the sweep.  The polynomial is the ubiquitous 0xEDB88320
+// reflected form, table-driven; the check value for "123456789" is
+// 0xCBF43926 (the classic known-answer test).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pv::resilience {
+
+/// CRC-32 of `bytes`, optionally continuing from a previous digest so
+/// large payloads can be checksummed incrementally:
+///   crc32(b) == crc32(b2, crc32(b1))  for any split b = b1 + b2.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes, std::uint32_t crc = 0);
+
+}  // namespace pv::resilience

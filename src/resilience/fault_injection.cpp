@@ -1,0 +1,76 @@
+#include "resilience/fault_injection.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pv::resilience {
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::RdmsrError: return "rdmsr-error";
+        case FaultKind::WrmsrError: return "wrmsr-error";
+        case FaultKind::RdmsrTimeout: return "rdmsr-timeout";
+        case FaultKind::WrmsrTimeout: return "wrmsr-timeout";
+        case FaultKind::StaleRead: return "stale-read";
+        case FaultKind::MailboxBusy: return "mailbox-busy";
+        case FaultKind::FileWriteError: return "file-write-error";
+    }
+    return "?";
+}
+
+bool FaultPlan::empty() const {
+    for (const double r : rates)
+        if (r != 0.0) return false;
+    return true;
+}
+
+void FaultPlan::validate() const {
+    for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+        const double r = rates[k];
+        if (!(r >= 0.0 && r <= 1.0))
+            throw ConfigError(std::string("fault rate for ") +
+                              to_string(static_cast<FaultKind>(k)) +
+                              " must be in [0, 1]");
+    }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan), seed_(plan.seed) {
+    plan_.validate();
+}
+
+void FaultInjector::reseed(std::uint64_t seed) {
+    seed_ = seed;
+    draws_.fill(0);
+}
+
+bool FaultInjector::should_inject(FaultKind kind) {
+    const auto k = static_cast<std::size_t>(kind);
+    ++opportunities_[k];
+    const double rate = plan_.rates[k];
+    if (rate == 0.0) return false;
+    // Stateless per-kind stream: two mix levels keep the kind streams
+    // independent of each other and of the sweep's cell-seed derivation.
+    const std::uint64_t bits = mix_seed(mix_seed(seed_, 0xFA00 + k), draws_[k]++);
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    if (u >= rate) return false;
+    ++injected_[k];
+    return true;
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : injected_) total += n;
+    return total;
+}
+
+trace::MetricsSnapshot FaultInjector::metrics_snapshot() const {
+    trace::MetricsRegistry reg;
+    for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+        const char* name = to_string(static_cast<FaultKind>(k));
+        reg.counter(std::string(name) + ".opportunities") = opportunities_[k];
+        reg.counter(std::string(name) + ".injected") = injected_[k];
+    }
+    return reg.snapshot();
+}
+
+}  // namespace pv::resilience

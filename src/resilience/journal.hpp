@@ -1,0 +1,159 @@
+// PlugVolt — write-ahead sweep journal.
+//
+// A real Algorithm 2 characterization is a sequence of crash-reboot
+// cycles (deep offsets kill the machine — that is the *point* of the
+// sweep), so losing all progress on a crash is not an edge case, it is
+// the common case.  The journal makes every completed frequency row
+// durable before the sweep moves on; after a crash, the resumed sweep
+// adopts journaled rows verbatim and recomputes only the rest, and the
+// per-cell seeding scheme guarantees the final map is bit-identical to
+// an uninterrupted run's.
+//
+// On-disk format (version 1, all integers little-endian):
+//
+//   file   := header-frame row-frame*
+//   frame  := magic:u16 ('P','V')  kind:u8  payload_len:u32  crc:u32  payload
+//   header := version:u32  config_hash:u64  seed:u64  sweep_floor:f64(bits)
+//             name_len:u32  name bytes                       (kind = 1)
+//   row    := row_index:u64  freq_mhz:f64  onset_mv:f64  crash_mv:f64
+//             fault_free:u8  cells:u64  crashes:u64           (kind = 2)
+//
+// The crc is CRC-32 over the payload bytes.  Doubles travel as bit
+// patterns, so adopted rows are bit-exact — the state_hash contract.
+// Replay walks frames until the bytes run out or a frame fails its
+// magic/length/CRC check; everything after the first bad frame is a
+// torn tail from a crash mid-append and is dropped (and scrubbed from
+// the file on resume, so later appends cannot land after garbage).
+//
+// Two commit modes:
+//   Append        — append + flush one frame per commit (cheap; a torn
+//                   final record is dropped by CRC on replay);
+//   AtomicRewrite — rewrite the whole journal through a temp-file +
+//                   rename per commit (every on-disk state is a complete
+//                   valid journal; costs O(n) bytes per commit — the
+//                   write-amplification trade bench_recovery measures).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resilience/fault_injection.hpp"
+#include "resilience/retry.hpp"
+
+namespace pv::resilience {
+
+/// Identity of the sweep a journal belongs to.  `config_hash` is the
+/// producer's configuration fingerprint; resume refuses a journal whose
+/// hash does not match (adopting rows probed under a different protocol
+/// would silently corrupt the map).
+struct JournalHeader {
+    std::uint32_t version = 1;
+    std::uint64_t config_hash = 0;
+    std::uint64_t seed = 0;
+    double sweep_floor_mv = 0.0;
+    std::string system_name;
+
+    friend bool operator==(const JournalHeader&, const JournalHeader&) = default;
+};
+
+/// One journaled frequency row: the characterization result plus the
+/// probe-cost counters (so resumed sweeps report honest statistics).
+struct RowRecord {
+    std::uint64_t row_index = 0;
+    double freq_mhz = 0.0;
+    double onset_mv = 0.0;
+    double crash_mv = 0.0;
+    bool fault_free = false;
+    std::uint64_t cells = 0;
+    std::uint64_t crashes = 0;
+
+    friend bool operator==(const RowRecord&, const RowRecord&) = default;
+};
+
+enum class CommitMode { Append, AtomicRewrite };
+
+[[nodiscard]] const char* to_string(CommitMode mode);
+
+/// Frame encoders, exposed for the property tests (round-trip and
+/// torn-tail recovery are tested at this layer).
+[[nodiscard]] std::string encode_header_frame(const JournalHeader& header);
+[[nodiscard]] std::string encode_row_frame(const RowRecord& record);
+
+/// Result of replaying a journal byte image.
+struct JournalReplay {
+    JournalHeader header;
+    std::vector<RowRecord> rows;
+    /// True when trailing bytes after the last valid frame were dropped.
+    bool tail_dropped = false;
+    /// Size of the valid prefix (header + intact frames).
+    std::size_t valid_bytes = 0;
+};
+
+/// Decode a journal byte image, dropping any torn tail.  Throws
+/// JournalError when the image does not start with a valid header frame.
+[[nodiscard]] JournalReplay decode_journal(std::string_view bytes);
+
+struct JournalOptions {
+    CommitMode mode = CommitMode::Append;
+    /// Optional injected-fault source for commits (FileWriteError
+    /// opportunities); not owned, may be nullptr.
+    FaultInjector* file_faults = nullptr;
+    /// Commit retry budget against injected file faults.
+    RetryPolicy io_retry{};
+    /// Jitter stream for the commit retries.
+    std::uint64_t io_retry_seed = 0x10'FA17;
+};
+
+/// The write-ahead journal.  One instance owns one file.
+class SweepJournal {
+public:
+    /// Start a fresh journal at `path` (truncating any previous file).
+    SweepJournal(std::string path, JournalHeader header, JournalOptions options = {});
+
+    /// Reopen an existing journal: replay its rows, scrub any torn tail
+    /// from the file, and position for further commits.  Throws
+    /// JournalError when the file has no valid header.
+    [[nodiscard]] static SweepJournal resume(const std::string& path,
+                                             JournalOptions options = {});
+
+    /// Make one completed row durable (write-ahead: callers commit
+    /// BEFORE acting on the row).  Retries injected file faults up to
+    /// the io_retry budget, then throws JournalError.
+    void commit(const RowRecord& record);
+
+    [[nodiscard]] const JournalHeader& header() const { return header_; }
+    /// Rows durable in this journal (replayed + committed), in commit order.
+    [[nodiscard]] const std::vector<RowRecord>& rows() const { return rows_; }
+    /// True when resume() dropped a torn tail.
+    [[nodiscard]] bool tail_dropped() const { return tail_dropped_; }
+    [[nodiscard]] const std::string& path() const { return path_; }
+    [[nodiscard]] const JournalOptions& options() const { return options_; }
+
+    /// I/O accounting for bench_recovery: logical journal size vs bytes
+    /// actually written (write amplification), commits and fault retries.
+    [[nodiscard]] std::uint64_t commits() const { return commits_; }
+    [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+    [[nodiscard]] std::uint64_t logical_bytes() const { return content_.size(); }
+    [[nodiscard]] std::uint64_t io_retries() const { return io_retries_; }
+
+private:
+    SweepJournal(std::string path, JournalOptions options);  // resume body
+
+    /// Write `frame` durably per the commit mode, retrying injected
+    /// faults; appends to content_ on success.
+    void write_frame(const std::string& frame);
+
+    std::string path_;
+    JournalOptions options_;
+    JournalHeader header_;
+    std::vector<RowRecord> rows_;
+    std::string content_;  // the valid byte image (logical journal)
+    bool tail_dropped_ = false;
+    std::uint64_t commits_ = 0;
+    std::uint64_t bytes_written_ = 0;
+    std::uint64_t io_retries_ = 0;
+};
+
+}  // namespace pv::resilience

@@ -1,0 +1,45 @@
+#include "resilience/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pv::resilience {
+
+void RetryPolicy::validate() const {
+    if (max_attempts == 0) throw ConfigError("retry policy needs at least one attempt");
+    if (base_delay < Picoseconds{0}) throw ConfigError("retry base delay must be >= 0");
+    if (max_delay < base_delay)
+        throw ConfigError("retry max_delay must be at least base_delay");
+    if (jitter < 0.0 || jitter >= 1.0) throw ConfigError("retry jitter must be in [0, 1)");
+    if (multiplier < 1.0 + jitter)
+        throw ConfigError("retry multiplier must be >= 1 + jitter (monotone backoff)");
+}
+
+Picoseconds RetryPolicy::backoff(unsigned retry_index, std::uint64_t seed) const {
+    // u_k in [0, 1) from the top 53 bits of the derived seed — the same
+    // stateless construction Rng uses, with no generator state to carry.
+    const double u =
+        static_cast<double>(mix_seed(seed, retry_index) >> 11) * 0x1.0p-53;
+    const double ideal = static_cast<double>(base_delay.value()) *
+                         std::pow(multiplier, static_cast<double>(retry_index));
+    const double jittered = ideal * (1.0 + jitter * u);
+    const double capped = std::min(jittered, static_cast<double>(max_delay.value()));
+    return Picoseconds{static_cast<std::int64_t>(capped)};
+}
+
+RetrySchedule::RetrySchedule(RetryPolicy policy, std::uint64_t seed)
+    : policy_(policy), seed_(seed) {
+    policy_.validate();
+}
+
+bool RetrySchedule::next_attempt() {
+    if (attempt_ >= policy_.max_attempts) return false;
+    backoff_ = attempt_ == 0 ? Picoseconds{} : policy_.backoff(attempt_ - 1, seed_);
+    ++attempt_;
+    return true;
+}
+
+}  // namespace pv::resilience

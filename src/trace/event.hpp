@@ -30,6 +30,9 @@ enum class EventKind : std::uint8_t {
     SpanEnd,           ///< ScopedSpan closed
     Instant,           ///< generic point event (crash, reboot, detection)
     LogRecord,         ///< util::log line routed through the bridge
+    EnvFaultInjected,  ///< resilience::FaultInjector fired (EIO, stale read, ...)
+    RetryBackoff,      ///< a bounded retry waited its deterministic backoff
+    JournalCommit,     ///< sweep journal made one row durable
 };
 
 /// Stable human-readable tag for an event kind.

@@ -5,12 +5,12 @@
 // wall-clock state — equal sessions export byte-identical files.
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "trace/recorder.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 
 namespace pv::trace {
 namespace {
@@ -67,10 +67,8 @@ std::string hex64(std::uint64_t v) {
 }
 
 void write_file(const std::string& path, const std::string& body) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) throw ConfigError("cannot open trace output file: " + path);
-    out << body;
-    if (!out) throw ConfigError("failed writing trace output file: " + path);
+    // Atomic: an exporter killed mid-write never leaves a torn trace.
+    atomic_write_file(path, body);
 }
 
 }  // namespace

@@ -26,6 +26,9 @@ const char* kind_name(EventKind kind) {
         case EventKind::SpanEnd: return "span-end";
         case EventKind::Instant: return "instant";
         case EventKind::LogRecord: return "log";
+        case EventKind::EnvFaultInjected: return "env-fault";
+        case EventKind::RetryBackoff: return "retry-backoff";
+        case EventKind::JournalCommit: return "journal-commit";
     }
     return "?";
 }

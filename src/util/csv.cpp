@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 
 namespace pv {
 namespace {
@@ -116,5 +117,11 @@ CsvDocument csv_parse(const std::string& text) {
     if (!seen_header) throw ConfigError("csv document is empty");
     return doc;
 }
+
+void csv_write_file(const std::string& path, const CsvDocument& doc) {
+    atomic_write_file(path, csv_write(doc));
+}
+
+CsvDocument csv_parse_file(const std::string& path) { return csv_parse(read_file(path)); }
 
 }  // namespace pv

@@ -29,4 +29,29 @@ public:
     explicit SimError(const std::string& what) : Error("simulation error: " + what) {}
 };
 
+/// Thrown on real file-system failures (open/write/rename) by the fsio
+/// helpers and their users.  Domain-level "the environment is flaky"
+/// outcomes stay values (os::MsrStatus); this is for the host FS.
+class IoError : public Error {
+public:
+    explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// Thrown by the legacy throwing MSR driver API when an (injected)
+/// environment fault exhausts the caller's patience — the software
+/// analogue of EIO from /dev/cpu/*/msr.  Callers that can retry use the
+/// non-throwing try_* API and os::MsrStatus instead.
+class DriverError : public Error {
+public:
+    explicit DriverError(const std::string& what) : Error("driver error: " + what) {}
+};
+
+/// Thrown when the write-ahead sweep journal cannot make a record
+/// durable (injected file faults beyond the retry budget, or a real
+/// write failure), or when a journal file has no valid header.
+class JournalError : public Error {
+public:
+    explicit JournalError(const std::string& what) : Error("journal error: " + what) {}
+};
+
 }  // namespace pv

@@ -1,0 +1,39 @@
+#include "util/fsio.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pv {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("cannot open " + path + " for reading");
+    std::ostringstream body;
+    body << in.rdbuf();
+    if (in.bad()) throw IoError("read failed on " + path);
+    return std::move(body).str();
+}
+
+bool file_exists(const std::string& path) {
+    return std::ifstream(path, std::ios::binary).good();
+}
+
+void atomic_write_file(const std::string& path, std::string_view body) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) throw IoError("cannot open " + tmp + " for writing");
+        out.write(body.data(), static_cast<std::streamsize>(body.size()));
+        out.flush();
+        if (!out) throw IoError("write failed on " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw IoError("rename " + tmp + " -> " + path + " failed");
+    }
+}
+
+}  // namespace pv

@@ -1,0 +1,29 @@
+// PlugVolt — small file-system I/O helpers with crash-safe writes.
+//
+// Everything this repo persists (characterization maps, campaign
+// reports, traces, the sweep journal) is expensive to recompute; a crash
+// mid-write must never leave a torn file where a good one used to be.
+// atomic_write_file gives every writer the same discipline: write the
+// full body to a temporary sibling, flush, then rename over the target —
+// rename(2) is atomic within a filesystem, so readers observe either the
+// old complete file or the new complete file, never a prefix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pv {
+
+/// Read a whole file as bytes.  Throws IoError when the file cannot be
+/// opened or read.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// True when `path` names an existing, readable file.
+[[nodiscard]] bool file_exists(const std::string& path);
+
+/// Crash-safe whole-file write: body -> `path + ".tmp"` -> rename to
+/// `path`.  Throws IoError on any failure (the temporary is removed on
+/// a failed rename).
+void atomic_write_file(const std::string& path, std::string_view body);
+
+}  // namespace pv

@@ -1,0 +1,671 @@
+// Crash-resilience layer: CRC framing, write-ahead sweep journal,
+// deterministic environment fault injection, bounded retry, and the
+// fail-safe degradation paths they feed (characterizer mailbox retry,
+// journaled resume, polling fail-closed clamp).
+#include "resilience/crc32.hpp"
+#include "resilience/fault_injection.hpp"
+#include "resilience/journal.hpp"
+#include "resilience/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "os/msr_driver.hpp"
+#include "plugvolt/parallel_characterizer.hpp"
+#include "plugvolt/polling_module.hpp"
+#include "prop/prop.hpp"
+#include "sim/ocm.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
+#include "util/rng.hpp"
+
+namespace pv::resilience {
+namespace {
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + "pv_" + name + ".pvj";
+}
+
+// ---------------------------------------------------------------- crc32
+
+TEST(Crc32, KnownAnswerAndIncrementalComposition) {
+    // The standard CRC-32 check value.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0u);
+    // Feeding the stream in two chunks must equal the one-shot digest.
+    const std::string text = "plug your volt";
+    EXPECT_EQ(crc32(std::string_view(text).substr(5),
+                    crc32(std::string_view(text).substr(0, 5))),
+              crc32(text));
+}
+
+// ---------------------------------------------------------------- retry
+
+TEST(RetryPolicy, RejectsBrokenParameters) {
+    RetryPolicy p;
+    p.max_attempts = 0;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.jitter = 1.0;  // jitter must stay below 1
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.multiplier = 1.1;
+    p.jitter = 0.25;  // violates multiplier >= 1 + jitter
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.max_delay = Picoseconds{0};  // below base_delay
+    EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(RetryPolicy, BackoffIsMonotoneAndBounded) {
+    // The contract the characterizer/polling/journal retries lean on:
+    // for ANY seed the delay sequence never shrinks and never exceeds
+    // max_delay.  Checked over seeded random (seed, policy) samples.
+    PROP_CHECK(0xB0FF, 300,
+               [](std::int64_t seed, std::int64_t base_us, std::int64_t jitter_pct) {
+                   RetryPolicy p;
+                   p.max_attempts = 8;
+                   p.base_delay = microseconds(static_cast<double>(base_us));
+                   p.jitter = static_cast<double>(jitter_pct) / 100.0;
+                   p.multiplier = 1.0 + p.jitter + 0.5;
+                   p.max_delay = milliseconds(1.0);
+                   p.validate();
+                   Picoseconds prev{-1};
+                   for (unsigned k = 0; k < 8; ++k) {
+                       const Picoseconds d =
+                           p.backoff(k, static_cast<std::uint64_t>(seed));
+                       if (d < prev || d > p.max_delay || d < Picoseconds{0})
+                           return false;
+                       prev = d;
+                   }
+                   return true;
+               },
+               prop::IntDomain{0, 1 << 20}, prop::IntDomain{1, 50},
+               prop::IntDomain{0, 90});
+}
+
+TEST(RetrySchedule, GrantsExactBudgetWithZeroFirstBackoff) {
+    RetryPolicy p;
+    p.max_attempts = 4;
+    RetrySchedule sched(p, /*seed=*/7);
+    unsigned grants = 0;
+    Picoseconds first{-1};
+    while (sched.next_attempt()) {
+        if (grants == 0) first = sched.backoff();
+        ++grants;
+    }
+    EXPECT_EQ(grants, 4u);
+    EXPECT_EQ(first, Picoseconds{0});
+    // Budget stays spent.
+    EXPECT_FALSE(sched.next_attempt());
+}
+
+TEST(RetrySchedule, BackoffsReplayBitExactlyFromSeed) {
+    RetryPolicy p;
+    p.max_attempts = 6;
+    std::vector<std::int64_t> a, b;
+    for (int run = 0; run < 2; ++run) {
+        RetrySchedule sched(p, /*seed=*/0xFEED);
+        auto& out = run == 0 ? a : b;
+        while (sched.next_attempt()) out.push_back(sched.backoff().value());
+    }
+    EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------- fault injector
+
+TEST(FaultInjector, PlanValidationAndEmptiness) {
+    FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+    plan.set_rate(FaultKind::RdmsrError, 1.5);
+    EXPECT_THROW(plan.validate(), ConfigError);
+    plan.set_rate(FaultKind::RdmsrError, 0.5);
+    EXPECT_FALSE(plan.empty());
+    plan.validate();
+}
+
+TEST(FaultInjector, DecisionsReplayBitExactlyAfterReseed) {
+    FaultPlan plan;
+    plan.set_rate(FaultKind::RdmsrError, 0.3);
+    plan.set_rate(FaultKind::StaleRead, 0.7);
+    FaultInjector injector(plan);
+    injector.reseed(0xCE11);
+    std::vector<bool> first;
+    for (int i = 0; i < 64; ++i) {
+        first.push_back(injector.should_inject(FaultKind::RdmsrError));
+        first.push_back(injector.should_inject(FaultKind::StaleRead));
+    }
+    injector.reseed(0xCE11);
+    for (std::size_t i = 0; i < first.size(); i += 2) {
+        EXPECT_EQ(injector.should_inject(FaultKind::RdmsrError), first[i]);
+        EXPECT_EQ(injector.should_inject(FaultKind::StaleRead), first[i + 1]);
+    }
+}
+
+TEST(FaultInjector, KindStreamsAreIndependent) {
+    // Interleaving draws of another kind must not perturb a kind's own
+    // decision sequence (each kind indexes its own splitmix64 stream).
+    FaultPlan plan;
+    plan.set_rate(FaultKind::WrmsrError, 0.4);
+    plan.set_rate(FaultKind::MailboxBusy, 0.4);
+    FaultInjector pure(plan);
+    pure.reseed(42);
+    std::vector<bool> expected;
+    for (int i = 0; i < 32; ++i)
+        expected.push_back(pure.should_inject(FaultKind::WrmsrError));
+
+    FaultInjector mixed(plan);
+    mixed.reseed(42);
+    for (int i = 0; i < 32; ++i) {
+        (void)mixed.should_inject(FaultKind::MailboxBusy);
+        EXPECT_EQ(mixed.should_inject(FaultKind::WrmsrError), expected[static_cast<std::size_t>(i)]);
+        (void)mixed.should_inject(FaultKind::MailboxBusy);
+    }
+}
+
+TEST(FaultInjector, RateEndpointsAndCounters) {
+    FaultPlan plan;
+    plan.set_rate(FaultKind::RdmsrTimeout, 1.0);
+    FaultInjector injector(plan);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_TRUE(injector.should_inject(FaultKind::RdmsrTimeout));
+        EXPECT_FALSE(injector.should_inject(FaultKind::WrmsrError));  // rate 0
+    }
+    EXPECT_EQ(injector.injected(FaultKind::RdmsrTimeout), 16u);
+    EXPECT_EQ(injector.opportunities(FaultKind::RdmsrTimeout), 16u);
+    EXPECT_EQ(injector.injected(FaultKind::WrmsrError), 0u);
+    EXPECT_EQ(injector.opportunities(FaultKind::WrmsrError), 16u);
+    EXPECT_EQ(injector.injected_total(), 16u);
+}
+
+// -------------------------------------------------------------- journal
+
+RowRecord sample_row(std::uint64_t i) {
+    return RowRecord{
+        .row_index = i,
+        .freq_mhz = 400.0 + 100.0 * static_cast<double>(i),
+        .onset_mv = -140.0 - static_cast<double>(i),
+        .crash_mv = -190.0 - static_cast<double>(i),
+        .fault_free = (i % 3) == 0,
+        .cells = 10 + i,
+        .crashes = i % 2,
+    };
+}
+
+std::string journal_image(const JournalHeader& header, std::uint64_t rows) {
+    std::string bytes = encode_header_frame(header);
+    for (std::uint64_t i = 0; i < rows; ++i) bytes += encode_row_frame(sample_row(i));
+    return bytes;
+}
+
+TEST(Journal, HeaderAndRowsRoundTrip) {
+    JournalHeader header;
+    header.config_hash = 0xDEADBEEFCAFE;
+    header.seed = 0x5EED;
+    header.sweep_floor_mv = -300.0;
+    header.system_name = "test-system, with comma";
+    const JournalReplay replay = decode_journal(journal_image(header, 5));
+    EXPECT_EQ(replay.header, header);
+    ASSERT_EQ(replay.rows.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(replay.rows[i], sample_row(i));
+    EXPECT_FALSE(replay.tail_dropped);
+}
+
+TEST(Journal, RowRoundTripProperty) {
+    // Encode/decode round-trip over random row records, bit-exact
+    // doubles included (they travel as bit patterns).
+    PROP_CHECK(0xB17'0001, 200,
+               [](std::int64_t a, std::int64_t b, std::int64_t c) {
+                   RowRecord r;
+                   r.row_index = static_cast<std::uint64_t>(a);
+                   r.freq_mhz = 400.0 + static_cast<double>(b) * 0.37;
+                   r.onset_mv = -static_cast<double>(c) * 0.013;
+                   r.crash_mv = r.onset_mv - 40.0;
+                   r.fault_free = (a % 2) == 0;
+                   r.cells = static_cast<std::uint64_t>(b);
+                   r.crashes = static_cast<std::uint64_t>(c % 3);
+                   const JournalReplay replay = decode_journal(
+                       encode_header_frame(JournalHeader{}) + encode_row_frame(r));
+                   return replay.rows.size() == 1 && replay.rows[0] == r &&
+                          !replay.tail_dropped;
+               },
+               prop::IntDomain{0, 1'000'000}, prop::IntDomain{0, 1 << 20},
+               prop::IntDomain{0, 100'000});
+}
+
+TEST(Journal, TruncationAtAnyPointRecoversTheIntactPrefix) {
+    // The write-ahead contract: however many bytes survive a crash, the
+    // decoder recovers every fully committed row and drops the torn
+    // tail — it never throws past a valid header and never fabricates.
+    JournalHeader header;
+    header.system_name = "trunc";
+    const std::string bytes = journal_image(header, 6);
+    const std::string head = encode_header_frame(header);
+    for (std::size_t cut = head.size(); cut < bytes.size(); ++cut) {
+        const JournalReplay replay = decode_journal(bytes.substr(0, cut));
+        EXPECT_LE(replay.rows.size(), 6u);
+        for (std::size_t i = 0; i < replay.rows.size(); ++i)
+            EXPECT_EQ(replay.rows[i], sample_row(i));
+        EXPECT_EQ(replay.tail_dropped, replay.valid_bytes < cut);
+    }
+}
+
+TEST(Journal, CorruptedRowByteDropsThatRowAndBeyond) {
+    JournalHeader header;
+    header.system_name = "flip";
+    std::string bytes = journal_image(header, 4);
+    const std::size_t head = encode_header_frame(header).size();
+    const std::size_t row = encode_row_frame(sample_row(0)).size();
+    bytes[head + 2 * row + row / 2] ^= 0x40;  // inside row 2's frame
+    const JournalReplay replay = decode_journal(bytes);
+    ASSERT_EQ(replay.rows.size(), 2u);
+    EXPECT_TRUE(replay.tail_dropped);
+    EXPECT_EQ(replay.rows[0], sample_row(0));
+    EXPECT_EQ(replay.rows[1], sample_row(1));
+}
+
+TEST(Journal, MissingOrMalformedHeaderThrows) {
+    EXPECT_THROW((void)decode_journal(""), JournalError);
+    EXPECT_THROW((void)decode_journal("not a journal at all"), JournalError);
+    // A row frame first is not a journal either.
+    EXPECT_THROW((void)decode_journal(encode_row_frame(sample_row(0))), JournalError);
+}
+
+TEST(SweepJournal, CommitResumeScrubsTornTail) {
+    const std::string path = temp_path("torn_tail");
+    JournalHeader header;
+    header.config_hash = 0xABCD;
+    header.system_name = "scrub";
+    {
+        SweepJournal journal(path, header, JournalOptions{});
+        journal.commit(sample_row(0));
+        journal.commit(sample_row(1));
+    }
+    // Crash mid-commit: garbage after the last intact frame.
+    {
+        std::string bytes = read_file(path);
+        bytes += encode_row_frame(sample_row(2)).substr(0, 7);
+        atomic_write_file(path, bytes);
+    }
+    SweepJournal recovered = SweepJournal::resume(path, JournalOptions{});
+    EXPECT_TRUE(recovered.tail_dropped());
+    ASSERT_EQ(recovered.rows().size(), 2u);
+    EXPECT_EQ(recovered.header(), header);
+    // The scrub rewrote the file so append-mode commits land cleanly.
+    recovered.commit(sample_row(2));
+    SweepJournal again = SweepJournal::resume(path, JournalOptions{});
+    EXPECT_FALSE(again.tail_dropped());
+    ASSERT_EQ(again.rows().size(), 3u);
+    EXPECT_EQ(again.rows()[2], sample_row(2));
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, AtomicRewriteModeRoundTripsToo) {
+    const std::string path = temp_path("rewrite_mode");
+    JournalOptions options;
+    options.mode = CommitMode::AtomicRewrite;
+    JournalHeader header;
+    header.system_name = "rewrite";
+    {
+        SweepJournal journal(path, header, options);
+        journal.commit(sample_row(0));
+        journal.commit(sample_row(1));
+        // Rewrite mode pays write amplification for torn-tail immunity.
+        EXPECT_GT(journal.bytes_written(), journal.logical_bytes());
+    }
+    SweepJournal recovered = SweepJournal::resume(path, options);
+    EXPECT_EQ(recovered.rows().size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, InjectedFileFaultsRetryThenExhaust) {
+    const std::string path = temp_path("file_faults");
+    FaultPlan plan;
+    plan.set_rate(FaultKind::FileWriteError, 0.6);
+    FaultInjector injector(plan);
+    JournalOptions options;
+    options.file_faults = &injector;
+    options.io_retry.max_attempts = 10;
+    JournalHeader header;
+    header.system_name = "faulty-disk";
+    {
+        SweepJournal journal(path, header, options);
+        for (std::uint64_t i = 0; i < 8; ++i) journal.commit(sample_row(i));
+        EXPECT_GT(journal.io_retries(), 0u);
+    }
+    EXPECT_EQ(SweepJournal::resume(path, JournalOptions{}).rows().size(), 8u);
+
+    // A disk that always fails exhausts the bounded budget.
+    FaultPlan dead;
+    dead.set_rate(FaultKind::FileWriteError, 1.0);
+    FaultInjector dead_injector(dead);
+    JournalOptions doomed;
+    doomed.file_faults = &dead_injector;
+    doomed.io_retry.max_attempts = 3;
+    SweepJournal journal(path + ".doomed", header, doomed);
+    EXPECT_THROW(journal.commit(sample_row(0)), JournalError);
+    std::remove(path.c_str());
+    std::remove((path + ".doomed").c_str());
+}
+
+// ------------------------------------------------------ driver injection
+
+TEST(MsrDriverFaults, StatusesSurfaceAndLegacyApiThrows) {
+    test::MachineRig rig(11);
+    FaultPlan plan;
+    plan.set_rate(FaultKind::RdmsrError, 1.0);
+    FaultInjector injector(plan);
+    rig.kernel.msr().set_fault_injector(&injector);
+
+    const os::MsrReadResult r = rig.kernel.msr().try_rdmsr(0, 0, sim::kMsrPerfStatus);
+    EXPECT_EQ(r.status, os::MsrStatus::IoError);
+    EXPECT_THROW((void)rig.kernel.msr().rdmsr(0, 0, sim::kMsrPerfStatus), DriverError);
+    EXPECT_EQ(rig.kernel.msr().fault_counters().read_errors, 2u);
+
+    // Detaching restores the clean path bit-for-bit.
+    rig.kernel.msr().set_fault_injector(nullptr);
+    EXPECT_EQ(rig.kernel.msr().try_rdmsr(0, 0, sim::kMsrPerfStatus).status,
+              os::MsrStatus::Ok);
+}
+
+TEST(MsrDriverFaults, MailboxBusyOnlyHitsTheMailbox) {
+    test::MachineRig rig(12);
+    FaultPlan plan;
+    plan.set_rate(FaultKind::MailboxBusy, 1.0);
+    FaultInjector injector(plan);
+    rig.kernel.msr().set_fault_injector(&injector);
+
+    EXPECT_EQ(rig.kernel.msr().try_wrmsr(0, 0, sim::kMsrPerfCtl, std::uint64_t{0x8} << 8).status,
+              os::MsrStatus::Ok);
+    const auto raw = sim::encode_offset(Millivolts{-10.0}, sim::VoltagePlane::Core);
+    EXPECT_EQ(rig.kernel.msr().try_wrmsr(0, 0, sim::kMsrOcMailbox, raw).status,
+              os::MsrStatus::Busy);
+    EXPECT_EQ(rig.kernel.msr().fault_counters().mailbox_busy, 1u);
+}
+
+TEST(MsrDriverFaults, TimeoutBurnsExtraCycles) {
+    test::MachineRig rig(13);
+    FaultPlan plan;
+    plan.set_rate(FaultKind::RdmsrTimeout, 1.0);
+    FaultInjector injector(plan);
+    const std::uint64_t before = rig.kernel.msr().total_cost_cycles();
+    (void)rig.kernel.msr().try_rdmsr(0, 0, sim::kMsrPerfStatus);
+    const std::uint64_t clean = rig.kernel.msr().total_cost_cycles() - before;
+
+    rig.kernel.msr().set_fault_injector(&injector);
+    const std::uint64_t mid = rig.kernel.msr().total_cost_cycles();
+    EXPECT_EQ(rig.kernel.msr().try_rdmsr(0, 0, sim::kMsrPerfStatus).status,
+              os::MsrStatus::Timeout);
+    EXPECT_GT(rig.kernel.msr().total_cost_cycles() - mid, clean);
+}
+
+TEST(MsrDriverFaults, StaleReadServesThePreviousValue) {
+    test::MachineRig rig(14);
+    FaultPlan plan;
+    plan.set_rate(FaultKind::StaleRead, 1.0);
+    FaultInjector injector(plan);
+    rig.kernel.msr().set_fault_injector(&injector);
+
+    // First read has no history: trivially coherent.
+    const os::MsrReadResult first = rig.kernel.msr().try_rdmsr(0, 0, sim::kMsrOcMailbox);
+    EXPECT_EQ(first.status, os::MsrStatus::Ok);
+    EXPECT_FALSE(first.stale);
+
+    // Change the MSR, then read: the torn read serves the OLD value.
+    const auto raw = sim::encode_offset(Millivolts{-25.0}, sim::VoltagePlane::Core);
+    ASSERT_EQ(rig.kernel.msr().try_wrmsr(0, 0, sim::kMsrOcMailbox, raw).status,
+              os::MsrStatus::Ok);
+    const os::MsrReadResult second = rig.kernel.msr().try_rdmsr(0, 0, sim::kMsrOcMailbox);
+    EXPECT_EQ(second.status, os::MsrStatus::Ok);
+    EXPECT_TRUE(second.stale);
+    EXPECT_EQ(second.value, first.value);
+    EXPECT_EQ(rig.kernel.msr().fault_counters().stale_reads, 1u);
+
+    // clear_stale_cache() forgets the history (the per-cell boundary).
+    rig.kernel.msr().clear_stale_cache();
+    const os::MsrReadResult third = rig.kernel.msr().try_rdmsr(0, 0, sim::kMsrOcMailbox);
+    EXPECT_FALSE(third.stale);
+}
+
+// ----------------------------------------------- characterizer retries
+
+TEST(CharacterizerRetry, AbsorbsMailboxFaultsWithinBudget) {
+    test::MachineRig rig(21);
+    FaultPlan plan;
+    plan.set_rate(FaultKind::MailboxBusy, 0.8);
+    FaultInjector injector(plan);
+    injector.reseed(0xAB5);
+    rig.kernel.msr().set_fault_injector(&injector);
+
+    plugvolt::CharacterizerConfig config;
+    config.offset_step = Millivolts{5.0};
+    config.retry.max_attempts = 12;
+    plugvolt::Characterizer characterizer(rig.kernel, config);
+    const plugvolt::CellResult cell =
+        characterizer.test_cell(rig.machine.profile().freq_base, Millivolts{-20.0});
+    EXPECT_FALSE(cell.crashed);
+    EXPECT_GT(characterizer.msr_retries(), 0u);
+}
+
+TEST(CharacterizerRetry, ExhaustedBudgetRaisesDriverError) {
+    test::MachineRig rig(22);
+    FaultPlan plan;
+    plan.set_rate(FaultKind::MailboxBusy, 1.0);
+    FaultInjector injector(plan);
+    rig.kernel.msr().set_fault_injector(&injector);
+
+    plugvolt::CharacterizerConfig config;
+    config.offset_step = Millivolts{5.0};
+    config.retry.max_attempts = 3;
+    plugvolt::Characterizer characterizer(rig.kernel, config);
+    EXPECT_THROW((void)characterizer.test_cell(rig.machine.profile().freq_base,
+                                               Millivolts{-20.0}),
+                 DriverError);
+}
+
+// ------------------------------------------------- journaled sweeps
+
+plugvolt::ParallelCharacterizerConfig sweep_config(std::uint64_t seed) {
+    plugvolt::ParallelCharacterizerConfig config;
+    config.cell.offset_step = Millivolts{10.0};
+    config.workers = 2;
+    config.mode = plugvolt::SweepMode::Bisection;
+    config.seed = seed;
+    return config;
+}
+
+/// Thrown by a progress callback to model the process dying mid-sweep.
+struct KillSignal {};
+
+TEST(JournaledSweep, MatchesPlainSweepAndResumesForFree) {
+    const sim::CpuProfile profile = sim::skylake_i5_6500();
+    const std::string path = temp_path("journaled_sweep");
+    plugvolt::ParallelCharacterizer engine(profile, sweep_config(0x90AD));
+
+    const std::uint64_t plain_hash = plugvolt::state_hash(engine.characterize());
+
+    SweepJournal journal(path, engine.journal_header(), JournalOptions{});
+    EXPECT_EQ(plugvolt::state_hash(engine.characterize(journal)), plain_hash);
+    EXPECT_EQ(engine.stats().journal_commits, journal.rows().size());
+    EXPECT_GT(engine.stats().journal_bytes, 0u);
+
+    // Resuming a COMPLETE journal adopts every row: zero probes.
+    SweepJournal full = SweepJournal::resume(path, JournalOptions{});
+    EXPECT_EQ(plugvolt::state_hash(engine.resume(full)), plain_hash);
+    EXPECT_EQ(engine.stats().cells_evaluated, 0u);
+    EXPECT_EQ(engine.stats().rows_resumed, engine.stats().rows);
+    std::remove(path.c_str());
+}
+
+TEST(JournaledSweep, KillMidSweepThenResumeIsBitIdentical) {
+    const sim::CpuProfile profile = sim::skylake_i5_6500();
+    const std::string path = temp_path("kill_resume");
+    plugvolt::ParallelCharacterizer engine(profile, sweep_config(0xC1A5));
+
+    const std::uint64_t reference = plugvolt::state_hash(engine.characterize());
+
+    {
+        SweepJournal journal(path, engine.journal_header(), JournalOptions{});
+        std::size_t delivered = 0;
+        EXPECT_THROW((void)engine.characterize(
+                         journal,
+                         [&delivered](const plugvolt::FreqCharacterization&) {
+                             if (++delivered == 3) throw KillSignal{};
+                         }),
+                     KillSignal);
+    }
+    SweepJournal recovered = SweepJournal::resume(path, JournalOptions{});
+    EXPECT_GE(recovered.rows().size(), 3u);
+    EXPECT_EQ(plugvolt::state_hash(engine.resume(recovered)), reference);
+    EXPECT_GE(engine.stats().rows_resumed, 3u);
+    std::remove(path.c_str());
+}
+
+TEST(JournaledSweep, ConfigMismatchIsRejected) {
+    const sim::CpuProfile profile = sim::skylake_i5_6500();
+    const std::string path = temp_path("config_mismatch");
+    plugvolt::ParallelCharacterizer engine(profile, sweep_config(1));
+    SweepJournal journal(path, engine.journal_header(), JournalOptions{});
+
+    plugvolt::ParallelCharacterizer other(profile, sweep_config(2));
+    EXPECT_NE(engine.config_hash(), other.config_hash());
+    EXPECT_THROW((void)other.resume(journal), ConfigError);
+    std::remove(path.c_str());
+}
+
+TEST(JournaledSweep, InjectedFaultSweepReplaysAcrossWorkerCounts) {
+    const sim::CpuProfile profile = sim::skylake_i5_6500();
+    FaultPlan plan;
+    plan.set_rate(FaultKind::MailboxBusy, 0.2);
+    plan.set_rate(FaultKind::StaleRead, 0.1);
+
+    auto config = sweep_config(0xFA15);
+    config.fault_plan = plan;
+    config.cell.retry.max_attempts = 8;
+
+    plugvolt::ParallelCharacterizer two(profile, config);
+    const std::uint64_t hash_two = plugvolt::state_hash(two.characterize());
+    const std::uint64_t faults_two = two.stats().env_faults;
+    EXPECT_GT(faults_two, 0u);
+    EXPECT_GT(two.stats().msr_retries, 0u);
+
+    config.workers = 4;
+    plugvolt::ParallelCharacterizer four(profile, config);
+    EXPECT_EQ(plugvolt::state_hash(four.characterize()), hash_two);
+    EXPECT_EQ(four.stats().env_faults, faults_two);
+    EXPECT_EQ(four.stats().msr_retries, two.stats().msr_retries);
+}
+
+// ------------------------------------------------ polling fail-closed
+
+TEST(PollingFailClosed, ReadStarvationClampsToMaximalSafe) {
+    // The acceptance property: with every status read failing, the
+    // module must NEVER dwell unclamped on unknown state beyond its
+    // retry budget — each abandoned poll fail-closes to the maximal
+    // safe state.
+    test::MachineRig rig(31);
+    auto module =
+        std::make_shared<plugvolt::PollingModule>(test::comet_map(), plugvolt::PollingConfig{});
+    rig.kernel.load_module(module);
+
+    FaultPlan plan;
+    plan.set_rate(FaultKind::RdmsrError, 1.0);
+    FaultInjector injector(plan);
+    rig.kernel.msr().set_fault_injector(&injector);
+
+    rig.machine.advance(milliseconds(1.0));
+
+    const plugvolt::PollingMetrics& m = module->metrics();
+    EXPECT_GT(m.polls, 0u);
+    EXPECT_EQ(m.missed_polls, m.polls);           // every poll lost its reads
+    EXPECT_EQ(m.fail_closed_clamps, m.missed_polls);  // ...and every one clamped
+    EXPECT_GT(m.read_retries, 0u);
+    EXPECT_EQ(m.detections, 0u);  // it never classified garbage as a reading
+
+    const auto req = sim::decode_offset(rig.machine.read_msr(0, sim::kMsrOcMailbox));
+    ASSERT_TRUE(req.has_value());
+    // Compare against the mailbox-quantized maximal safe offset (the
+    // encoding rounds to 1/1024 V steps).
+    const Millivolts maximal =
+        module->map().maximal_safe_offset(module->config().guard_band);
+    const auto quantized =
+        sim::decode_offset(sim::encode_offset(maximal, sim::VoltagePlane::Core));
+    ASSERT_TRUE(quantized.has_value());
+    EXPECT_DOUBLE_EQ(req->offset.value(), quantized->offset.value());
+}
+
+TEST(PollingFailClosed, TransientFaultsAreAbsorbedByRetry) {
+    // A flaky-but-not-dead environment: reads fail often but the retry
+    // budget covers them, so polls complete and nothing fail-closes.
+    test::MachineRig rig(32);
+    plugvolt::PollingConfig config;
+    config.driver_retry.max_attempts = 12;
+    auto module = std::make_shared<plugvolt::PollingModule>(test::comet_map(), config);
+    rig.kernel.load_module(module);
+
+    FaultPlan plan;
+    plan.set_rate(FaultKind::RdmsrError, 0.4);
+    FaultInjector injector(plan);
+    rig.kernel.msr().set_fault_injector(&injector);
+
+    rig.machine.advance(milliseconds(1.0));
+
+    const plugvolt::PollingMetrics& m = module->metrics();
+    EXPECT_GT(m.polls, 0u);
+    EXPECT_GT(m.read_retries, 0u);
+    EXPECT_EQ(m.missed_polls, 0u);
+    EXPECT_EQ(m.fail_closed_clamps, 0u);
+}
+
+TEST(PollingFailClosed, StaleReadsAreCountedButHarmlessAtRest) {
+    test::MachineRig rig(33);
+    auto module = std::make_shared<plugvolt::PollingModule>(test::comet_map(),
+                                                            plugvolt::PollingConfig{});
+    rig.kernel.load_module(module);
+
+    FaultPlan plan;
+    plan.set_rate(FaultKind::StaleRead, 0.5);
+    FaultInjector injector(plan);
+    rig.kernel.msr().set_fault_injector(&injector);
+
+    rig.machine.advance(milliseconds(1.0));
+
+    const plugvolt::PollingMetrics& m = module->metrics();
+    EXPECT_GT(m.stale_reads, 0u);
+    EXPECT_EQ(m.missed_polls, 0u);
+    // A machine at rest reads the same values stale or fresh: no false
+    // detections.
+    EXPECT_EQ(m.detections, 0u);
+}
+
+// --------------------------------------------------- atomic persistence
+
+TEST(AtomicPersistence, SafeStateMapFileRoundTripIsBitExact) {
+    const plugvolt::SafeStateMap& map = test::comet_map();
+    const std::string path = ::testing::TempDir() + "pv_map_roundtrip.csv";
+    map.save_csv(path);
+    const plugvolt::SafeStateMap loaded =
+        plugvolt::SafeStateMap::load_csv(path, map.system_name(), map.sweep_floor());
+    EXPECT_EQ(plugvolt::state_hash(loaded), plugvolt::state_hash(map));
+    // The temp file used for atomicity does not outlive the write.
+    EXPECT_FALSE(file_exists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(AtomicPersistence, FsioReadWriteAndMissingFile) {
+    const std::string path = ::testing::TempDir() + "pv_fsio_probe.txt";
+    atomic_write_file(path, "first");
+    atomic_write_file(path, "second");  // overwrite is atomic too
+    EXPECT_EQ(read_file(path), "second");
+    EXPECT_TRUE(file_exists(path));
+    std::remove(path.c_str());
+    EXPECT_FALSE(file_exists(path));
+    EXPECT_THROW((void)read_file(path), IoError);
+}
+
+}  // namespace
+}  // namespace pv::resilience
