@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: run the named benches, compare against committed baselines.
+
+Runs each bench --runs times (default 3), takes the per-row MINIMUM wall
+time, and fails (exit 1) when any gated row is more than --tolerance
+(default 10%) slower than its committed baseline in bench/baselines/.
+The estimators are deliberately asymmetric: baselines record the
+per-row MEDIAN across runs (the typical cost), the current run is
+judged by its per-row MIN (its best run).  Contention on a shared
+runner only ever ADDS time, so a false alarm needs the box to stay
+busy through every run AND the retry, while a real regression shifts
+the whole distribution and still trips.  Symmetric min/min was tried
+first: one lucky fast window gets baked into the baseline floor and
+later runs of a 200 ms process rarely rematch it.
+
+Cross-machine normalization: each bench gets its own machine-speed
+factor — the MEDIAN of the now/baseline ratios over that bench's own
+rows, which all ran in the same few-second window.  Anything coarser
+decouples on a shared box: a global factor mixes google-benchmark
+micro rows (per-op minimum over millions of iterations, recovers the
+uncontended cost even under load) with whole-process rows that embed
+every preemption (observed same-binary: micro median 0.835 vs process
+rows at 1.0-1.1 — every process row read as a false regression), and
+even a process-family factor decouples because the sweep and campaign
+benches run minutes apart while load windows shift faster than that.
+Self-normalization absorbs the bench-local common mode; a regression
+in a subset of a bench's rows sticks out.  The blind spot — a
+perfectly uniform slowdown across ALL of one bench's rows — is covered
+by the other benches exercising the same hot paths under their own
+factors.
+
+Transient-load defense: when the first pass flags regressions, the
+flagged benches are re-measured once (merging samples, min wins) before
+the verdict.  A busy window on the runner clears on the retry seconds
+later; a real regression reproduces.
+
+Usage:
+    scripts/bench_compare.py [--build-dir build] [--runs 3] [--tolerance 0.10]
+    scripts/bench_compare.py --rebaseline     # rewrite bench/baselines/ and exit
+
+Baselines are plain BENCH_*.json files ({"bench": ..., "records": [...]})
+committed under bench/baselines/.  To accept an intentional perf change,
+re-run with --rebaseline on a quiet machine and commit the updated files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+
+# (bench key, argv relative to build dir, output JSON the bench writes in
+# its CWD or None for google-benchmark stdout JSON, reason the bench is
+# info-only or None when its rows are gated).  The recovery bench times
+# real filesystem journal I/O, which on shared runners varies by
+# multiples rather than percent — report it, never gate on it.
+BENCHES = [
+    ("micro", ["bench/bench_micro", "--benchmark_format=json"], None, None),
+    ("parallel_sweep", ["bench/bench_parallel_sweep"], "BENCH_parallel_sweep.json",
+     None),
+    ("campaign", ["bench/campaign_demo", "--quick"], "BENCH_campaign.json", None),
+    ("recovery", ["bench/bench_recovery"], "BENCH_recovery.json", "I/O-bound"),
+]
+
+# Rows below this baseline wall time are reported but never gated: at
+# millisecond scale, scheduler noise dwarfs any real regression.
+# google-benchmark rows are exempt — their per-op times come from
+# bench_micro's own repetition loop and are stable far below this floor.
+GATE_FLOOR_MS = 2.0
+
+TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def run_bench(build_dir: str, key: str, argv: list[str], out_json: str | None,
+              runs: int) -> dict[str, list[float]]:
+    """Run one bench `runs` times; return row name -> list of wall_ms."""
+    exe = os.path.join(build_dir, argv[0])
+    if not os.path.exists(exe):
+        sys.exit(f"bench_compare: missing {exe} (build the repo first)")
+    samples: dict[str, list[float]] = {}
+    for _ in range(runs):
+        with tempfile.TemporaryDirectory(prefix=f"pvbench_{key}_") as cwd:
+            proc = subprocess.run(
+                [os.path.abspath(exe), *argv[1:]],
+                cwd=cwd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                sys.stderr.write(proc.stdout + proc.stderr)
+                sys.exit(f"bench_compare: {argv[0]} exited {proc.returncode}")
+            if out_json is None:
+                rows = parse_google_benchmark(proc.stdout)
+            else:
+                with open(os.path.join(cwd, out_json), encoding="utf-8") as f:
+                    rows = {r["name"]: float(r["wall_ms"])
+                            for r in json.load(f)["records"]}
+        for name, wall_ms in rows.items():
+            if wall_ms > 0.0:  # 0 = variant skipped this run (e.g. --quick)
+                samples.setdefault(name, []).append(wall_ms)
+    return samples
+
+
+def parse_google_benchmark(stdout: str) -> dict[str, float]:
+    doc = json.loads(stdout)
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        unit = TIME_UNIT_TO_MS.get(b.get("time_unit", "ns"))
+        if unit is None:
+            sys.exit(f"bench_compare: unknown time unit in {b['name']}")
+        rows[b["name"]] = float(b["real_time"]) * unit
+    return rows
+
+
+def min_rows(samples: dict[str, list[float]]) -> dict[str, float]:
+    return {name: min(vals) for name, vals in samples.items()}
+
+
+def baseline_path(baseline_dir: str, key: str) -> str:
+    return os.path.join(baseline_dir, f"BENCH_{key}.json")
+
+
+def load_baseline(baseline_dir: str, key: str) -> dict[str, float] | None:
+    path = baseline_path(baseline_dir, key)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as f:
+        return {r["name"]: float(r["wall_ms"]) for r in json.load(f)["records"]}
+
+
+def write_baseline(baseline_dir: str, key: str, rows: dict[str, float]) -> str:
+    os.makedirs(baseline_dir, exist_ok=True)
+    path = baseline_path(baseline_dir, key)
+    records = [{"name": n, "wall_ms": w} for n, w in rows.items()]
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"bench": key, "records": records}, f, indent=2)
+        f.write("\n")
+    return path
+
+
+def fmt_ms(ms: float) -> str:
+    return f"{ms:.4g} ms" if ms >= 0.01 else f"{ms * 1e6:.4g} ns"
+
+
+def machine_factor(current: dict[str, dict[str, float]],
+                   baselines: dict[str, dict[str, float] | None],
+                   keys: list[str]) -> tuple[float, int]:
+    """Median now/baseline ratio over `keys` (1.0 when too few overlap)."""
+    ratios = []
+    for key in keys:
+        base = baselines.get(key)
+        if not base or key not in current:
+            continue
+        ratios.extend(now_ms / base[name]
+                      for name, now_ms in current[key].items()
+                      if name in base and base[name] > 0.0)
+    factor = statistics.median(ratios) if len(ratios) >= 2 else 1.0
+    if not (0.1 <= factor <= 10.0) or not math.isfinite(factor):
+        sys.exit(f"bench_compare: implausible machine factor {factor:.3f}; "
+                 "rebaseline or check the build")
+    return factor, len(ratios)
+
+
+def evaluate(current: dict[str, dict[str, float]],
+             baselines: dict[str, dict[str, float] | None],
+             info_only: dict[str, str | None],
+             tolerance: float) -> list[tuple[str, float, float, float]]:
+    """Print the comparison table; return [(label, scaled, now, delta)]."""
+    factors = {}
+    for key in current:
+        factors[key], n_rows = machine_factor(current, baselines, [key])
+        print(f"-- {key} machine factor {factors[key]:.3f} "
+              f"(median now/baseline ratio over {n_rows} rows)")
+    regressions = []
+    header = f"{'bench/row':44s} {'baseline':>12s} {'scaled':>12s} {'now':>12s} {'delta':>8s}  verdict"
+    print(header)
+    print("-" * len(header))
+    for key, rows in current.items():
+        base = baselines.get(key)
+        if base is None:
+            print(f"{key:44s} {'(no baseline — run --rebaseline)':>12s}")
+            continue
+        for name, now_ms in sorted(rows.items()):
+            label = f"{key}/{name}"
+            if name not in base:
+                print(f"{label:44s} {'new row':>12s} {'':>12s} {fmt_ms(now_ms):>12s}")
+                continue
+            base_ms = base[name]
+            scaled = base_ms * factors[key]
+            delta = now_ms / scaled - 1.0
+            gated = info_only.get(key) is None and \
+                (key == "micro" or base_ms >= GATE_FLOOR_MS)
+            if info_only.get(key) is not None:
+                verdict = f"info ({info_only[key]})"
+            elif not gated:
+                verdict = "info (below gate floor)"
+            elif delta > tolerance:
+                verdict = "REGRESSION"
+                regressions.append((label, scaled, now_ms, delta))
+            else:
+                verdict = "ok"
+            print(f"{label:44s} {fmt_ms(base_ms):>12s} {fmt_ms(scaled):>12s} "
+                  f"{fmt_ms(now_ms):>12s} {delta:+7.1%}  {verdict}")
+    return regressions
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--runs", type=int, default=3)
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative wall-time growth (default 0.10)")
+    ap.add_argument("--only", action="append", metavar="BENCH",
+                    help="restrict to one bench key (repeatable)")
+    ap.add_argument("--rebaseline", action="store_true",
+                    help="rewrite the committed baselines from this machine")
+    args = ap.parse_args()
+
+    benches = [b for b in BENCHES if not args.only or b[0] in args.only]
+    if not benches:
+        sys.exit(f"bench_compare: no bench matches --only {args.only}")
+    info_only = {key: reason for key, _, _, reason in benches}
+
+    samples: dict[str, dict[str, list[float]]] = {}
+    for key, argv, out_json, _ in benches:
+        print(f"-- running {key} x{args.runs} ...", flush=True)
+        samples[key] = run_bench(args.build_dir, key, argv, out_json, args.runs)
+    current = {key: min_rows(s) for key, s in samples.items()}
+
+    if args.rebaseline:
+        # Baselines record the per-row MEDIAN across runs — the typical
+        # cost — while compare mode judges the per-row MIN.  Recording a
+        # min would bake one lucky fast window into the floor, which
+        # later runs of a 200 ms process on a shared box rarely rematch.
+        for key, s in samples.items():
+            rows = {name: statistics.median(vals) for name, vals in s.items()}
+            print(f"   wrote {write_baseline(args.baseline_dir, key, rows)}")
+        return 0
+
+    baselines = {key: load_baseline(args.baseline_dir, key)
+                 for key, _, _, _ in benches}
+    regressions = evaluate(current, baselines, info_only, args.tolerance)
+
+    if regressions:
+        # Second chance: flagged benches get one re-measure pass (min
+        # over ALL samples).  A busy window on the runner clears seconds
+        # later; a real regression reproduces.
+        retry_keys = sorted({label.split("/")[0]
+                             for label, _, _, _ in regressions})
+        print(f"\n-- {len(regressions)} row(s) flagged; "
+              f"re-measuring {', '.join(retry_keys)} once ...", flush=True)
+        for key, argv, out_json, _ in benches:
+            if key not in retry_keys:
+                continue
+            more = run_bench(args.build_dir, key, argv, out_json, args.runs)
+            for name, vals in more.items():
+                samples[key].setdefault(name, []).extend(vals)
+        current = {key: min_rows(s) for key, s in samples.items()}
+        regressions = evaluate(current, baselines, info_only, args.tolerance)
+
+    if regressions:
+        print(f"\n{len(regressions)} row(s) regressed more than "
+              f"{args.tolerance:.0%} vs baseline (reproduced on re-measure):")
+        for label, scaled, now_ms, delta in regressions:
+            print(f"  {label}: {fmt_ms(scaled)} -> {fmt_ms(now_ms)} ({delta:+.1%})")
+        print("If intentional, rerun with --rebaseline and commit "
+              "bench/baselines/.")
+        return 1
+    print("\nall gated rows within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,19 +5,21 @@
 #   scripts/check.sh --asan     # + ASan/UBSan build, ctest -LE soak
 #   scripts/check.sh --tsan     # + TSan build, ctest -L "concurrency|resilience"
 #   scripts/check.sh --tidy     # + clang-tidy over src/ (needs clang-tidy)
+#   scripts/check.sh --bench    # + perf gate vs bench/baselines (bench_compare.py)
 #   scripts/check.sh --all      # everything above
 #
 # Build trees land in build-check*/ so they never disturb ./build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-run_asan=0 run_tsan=0 run_tidy=0
+run_asan=0 run_tsan=0 run_tidy=0 run_bench=0
 for arg in "$@"; do
     case "$arg" in
         --asan) run_asan=1 ;;
         --tsan) run_tsan=1 ;;
         --tidy) run_tidy=1 ;;
-        --all)  run_asan=1 run_tsan=1 run_tidy=1 ;;
+        --bench) run_bench=1 ;;
+        --all)  run_asan=1 run_tsan=1 run_tidy=1 run_bench=1 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -63,6 +65,11 @@ if [ "$run_tidy" -eq 1 ]; then
     cmake -B build-check-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
         "${launcher[@]}" >/dev/null
     run-clang-tidy -p build-check-tidy -quiet "$(pwd)/src/.*\.cpp$"
+fi
+
+if [ "$run_bench" -eq 1 ]; then
+    step "perf gate (bench_compare.py vs bench/baselines)"
+    python3 scripts/bench_compare.py --build-dir build-check --runs 3
 fi
 
 step "all checks passed"

@@ -427,6 +427,14 @@ CampaignCellResult CampaignEngine::run_cell(const CellSpec& spec) {
         reg.counter("attack_crashes") = out.attack_result.crashes;
         reg.counter("audit_violations") = out.audit_violations;
         reg.gauge("cell_virtual_us") = rig.machine.now().microseconds();
+        // Simulator traversal-work counters: deterministic per cell (and
+        // across stepping modes and worker counts), so fingerprints can
+        // assert the batched hot path actually engaged.
+        const sim::Machine::Stats mstats = rig.machine.stats();
+        reg.counter("machine.events_dispatched") = mstats.events_dispatched;
+        reg.counter("machine.batched_iterations") = mstats.batched_iterations;
+        reg.counter("machine.batch_windows") = mstats.batch_windows;
+        reg.counter("machine.heap_peak") = mstats.heap_peak;
         out.metrics = reg.snapshot();
         if (const plugvolt::PollingModule* module = rig.polling_module())
             out.metrics.merge(module->metrics_snapshot(), "polling.");

@@ -17,16 +17,19 @@ KthreadId Kernel::start_kthread(KthreadOptions options, KthreadBody body) {
     if (options.cpu >= machine_.core_count())
         throw ConfigError("kthread pinned to nonexistent cpu");
     const KthreadId id = next_id_++;
-    kthreads_.emplace(id, Kthread{std::move(options), std::move(body), true});
-    arm(id, machine_.now() + kthreads_.at(id).options.period);
+    const Picoseconds first_wake = machine_.now() + options.period;
+    kthreads_.emplace(id, std::make_unique<Kthread>(
+                              Kthread{std::move(options), std::move(body), true}));
+    arm(id, first_wake);
     return id;
 }
 
 void Kernel::arm(KthreadId id, Picoseconds first_wake) {
     machine_.events().schedule(first_wake, [this, id] {
         const auto it = kthreads_.find(id);
-        if (it == kthreads_.end() || !it->second.running) return;
-        const Kthread& kt = it->second;
+        if (it == kthreads_.end() || !it->second->running) return;
+        // Heap-pinned: stays valid even if the body grows the table.
+        const Kthread& kt = *it->second;
         // A timer firing on an idle core wakes it first (exit latency is
         // charged inside wake_core).
         if (machine_.core(kt.options.cpu).cstate() != sim::CState::C0)
@@ -37,19 +40,41 @@ void Kernel::arm(KthreadId id, Picoseconds first_wake) {
         // The body may have stopped this kthread (or the machine may
         // have crashed; the event queue is cleared on reboot anyway).
         const auto again = kthreads_.find(id);
-        if (again != kthreads_.end() && again->second.running)
-            arm(id, machine_.now() + again->second.options.period);
+        if (again == kthreads_.end()) return;
+        if (again->second->running)
+            arm(id, machine_.now() + again->second->options.period);
+        else
+            kthreads_.erase(id);  // deferred reclaim of a self-stop
     });
 }
 
-void Kernel::stop_kthread(KthreadId id) { kthreads_.erase(id); }
+void Kernel::stop_kthread(KthreadId id) {
+    // Mark only: the entry may belong to the body currently executing
+    // (a kthread stopping itself), and erasing here would destroy that
+    // closure mid-call.  arm()'s wrapper or on_machine_reset() reclaims.
+    const auto it = kthreads_.find(id);
+    if (it != kthreads_.end()) it->second->running = false;
+}
 
-bool Kernel::kthread_running(KthreadId id) const { return kthreads_.contains(id); }
+bool Kernel::kthread_running(KthreadId id) const {
+    const auto it = kthreads_.find(id);
+    return it != kthreads_.end() && it->second->running;
+}
 
 void Kernel::on_machine_reset() {
-    // Reboot cleared the event queue; re-arm every running kthread.
+    // Reboot cleared the event queue: reclaim stopped entries (their
+    // pending wrapper events are gone), then re-arm every running one.
+    for (auto it = kthreads_.begin(); it != kthreads_.end();) {
+        if (!(*it->second).running) {
+            const KthreadId dead = it->first;
+            kthreads_.erase(dead);
+            it = kthreads_.begin();  // erase invalidates flat iterators
+        } else {
+            ++it;
+        }
+    }
     for (const auto& [id, kt] : kthreads_) {
-        if (kt.running) arm(id, machine_.now() + kt.options.period);
+        arm(id, machine_.now() + kt->options.period);
     }
 }
 

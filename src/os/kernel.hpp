@@ -13,7 +13,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -22,6 +21,7 @@
 #include "os/cpufreq.hpp"
 #include "os/msr_driver.hpp"
 #include "sim/machine.hpp"
+#include "util/flat_map.hpp"
 
 namespace pv::os {
 
@@ -61,7 +61,10 @@ public:
     /// MSR accesses charge further cycles through MsrDriver).
     KthreadId start_kthread(KthreadOptions options, KthreadBody body);
 
-    /// Stop a kthread; idempotent.
+    /// Stop a kthread; idempotent.  Safe to call from the kthread's own
+    /// body: the entry is marked stopped immediately (kthread_running()
+    /// turns false) and reclaimed after the body returns, so the
+    /// executing closure is never destroyed out from under itself.
     void stop_kthread(KthreadId id);
 
     [[nodiscard]] bool kthread_running(KthreadId id) const;
@@ -97,7 +100,10 @@ private:
     sim::Machine& machine_;
     MsrDriver msr_;
     Cpufreq cpufreq_;
-    std::map<KthreadId, Kthread> kthreads_;
+    // Flat table of heap-pinned kthreads: the indirection matters — a
+    // body that starts another kthread grows the table, and the entry of
+    // the body CURRENTLY EXECUTING must not move while it runs.
+    FlatMap<KthreadId, std::unique_ptr<Kthread>> kthreads_;
     KthreadId next_id_ = 1;
     std::vector<std::shared_ptr<KernelModule>> modules_;
 };

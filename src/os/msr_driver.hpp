@@ -17,11 +17,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "resilience/fault_injection.hpp"
 #include "sim/cpu_profile.hpp"
 #include "sim/machine.hpp"
+#include "util/flat_map.hpp"
 
 namespace pv::os {
 
@@ -142,8 +142,9 @@ private:
     MsrObserver* observer_ = nullptr;
     resilience::FaultInjector* injector_ = nullptr;
     /// Last true value per (target_cpu, addr), tracked only while an
-    /// injector is attached — the value a StaleRead serves.
-    std::unordered_map<std::uint64_t, std::uint64_t> last_value_;
+    /// injector is attached — the value a StaleRead serves.  Flat map:
+    /// clear_stale_cache() at every cell boundary keeps the capacity.
+    FlatMap<std::uint64_t, std::uint64_t> last_value_;
     MsrFaultCounters faults_;
     std::uint64_t total_cycles_ = 0;
 };

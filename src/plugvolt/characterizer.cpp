@@ -53,14 +53,35 @@ bool Characterizer::command_offset(Millivolts offset, std::uint64_t salt) {
                       os::to_string(last));
 }
 
+void Characterizer::pin_frequency(Megahertz f) {
+    sim::Machine& m = kernel_.machine();
+    cpupower_.frequency_set(f);
+    const Picoseconds settle = m.rail_settle_time();
+    if (settle > m.now()) m.advance_to(settle);
+}
+
 CellResult Characterizer::test_cell(Megahertz f, Millivolts offset) {
+    return test_cell_impl(f, offset, /*assume_pinned=*/false);
+}
+
+CellResult Characterizer::test_cell_pinned(Megahertz f, Millivolts offset) {
+    return test_cell_impl(f, offset, /*assume_pinned=*/true);
+}
+
+CellResult Characterizer::test_cell_impl(Megahertz f, Millivolts offset,
+                                         bool assume_pinned) {
     sim::Machine& m = kernel_.machine();
     if (m.crashed()) return {0, true};
 
     // DVFS thread, step 1: pin every core to the test frequency
-    // (cpupower frequency-set, as in Algo. 2 line 9).
-    cpupower_.frequency_set(f);
-    if (m.crashed()) return {0, true};
+    // (cpupower frequency-set, as in Algo. 2 line 9).  When the caller
+    // guarantees the machine is already pinned and settled at `f`, the
+    // pass is state-neutral (idempotent P-state writes, unchanged rail
+    // target, no RNG draws) and is skipped.
+    if (!assume_pinned) {
+        cpupower_.frequency_set(f);
+        if (m.crashed()) return {0, true};
+    }
 
     // DVFS thread, step 2: command the undervolt through the userspace
     // msr-tools path (Algo. 1 encoding + ioctl wrmsr to 0x150), retrying

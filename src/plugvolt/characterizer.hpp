@@ -61,6 +61,23 @@ public:
     /// the sweep driver's job, as on real hardware).
     [[nodiscard]] CellResult test_cell(Megahertz f, Millivolts offset);
 
+    /// test_cell for a machine whose cores are already pinned to `f`
+    /// with the rail settled (the state pin_frequency() leaves behind,
+    /// or a restored snapshot of it).  Skips the per-cell cpupower pass
+    /// — provably state-neutral under that precondition, which is the
+    /// same invariant that makes the sweep engine's snapshot restore
+    /// sound — so the probe hot path pays only the cell's own physics.
+    [[nodiscard]] CellResult test_cell_pinned(Megahertz f, Millivolts offset);
+
+    /// Pin all cores to `f` and wait for the P-state raise to complete.
+    /// Draws no random numbers, so the machine state afterwards is a
+    /// pure function of (boot state, f) — which is what lets the sweep
+    /// engine snapshot the pinned state once per row and restore it per
+    /// cell instead of re-simulating the boot -> row-frequency ramp.
+    /// test_cell()'s own frequency_set then finds every core already at
+    /// `f` and is state-neutral.
+    void pin_frequency(Megahertz f);
+
     /// One frequency column of the sweep: push the offset from one step
     /// below nominal down toward the floor, classifying onset and crash
     /// exactly like Algo. 2; reboots the machine if the column ends in a
@@ -105,6 +122,11 @@ private:
     /// false when the machine crashed while waiting out a backoff;
     /// throws DriverError once the budget is exhausted.
     bool command_offset(Millivolts offset, std::uint64_t salt);
+
+    /// Shared cell protocol; `assume_pinned` elides the DVFS thread's
+    /// frequency pass when the caller guarantees it would be a no-op.
+    [[nodiscard]] CellResult test_cell_impl(Megahertz f, Millivolts offset,
+                                            bool assume_pinned);
 
     os::Kernel& kernel_;
     os::Cpupower cpupower_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "check/assert.hpp"
+#include "util/flat_map.hpp"
 #include "check/state_hasher.hpp"
 #include "os/kernel.hpp"
 #include "util/error.hpp"
@@ -47,11 +48,13 @@ public:
         }
     }
 
-    /// Start a new frequency row: forget cached probes.
+    /// Start a new frequency row: forget cached probes and the pinned-
+    /// state snapshot (it belongs to the previous row's frequency).
     void begin_row(Megahertz f, std::uint64_t row_seed) {
         freq_ = f;
         row_seed_ = row_seed;
         memo_.clear();
+        pinned_.reset();
         cells_ = 0;
         crashes_ = 0;
         retry_base_ = characterizer_.msr_retries();
@@ -60,11 +63,24 @@ public:
     /// Probe offset step `s` of the current row from a fresh boot with
     /// the cell's derived seed; memoized, so bisection and refinement
     /// never pay for (or re-randomize) a cell twice.
+    ///
+    /// The boot -> row-frequency pin draws no random numbers, so its
+    /// trajectory is a pure function of the row frequency: the first
+    /// probe simulates it once and snapshots the pinned machine; every
+    /// later probe restores the snapshot and reseeds — bit-identical to
+    /// reset + re-pin (the perfpath differential suite holds this to
+    /// state-hash equality), at a fraction of the per-cell cost.
     [[nodiscard]] const CellResult& probe(std::uint64_t s) {
         const auto it = memo_.find(s);
         if (it != memo_.end()) return it->second;
         const std::uint64_t cell_seed = mix_seed(row_seed_, s);
-        context_.machine->reset(cell_seed);
+        if (pinned_) {
+            context_.machine->restore_snapshot(*pinned_, cell_seed);
+        } else {
+            context_.machine->reset(cell_seed);
+            characterizer_.pin_frequency(freq_);
+            pinned_.emplace(context_.machine->capture_snapshot());
+        }
         if (injector_) {
             // The fault stream and stale-read history restart with the
             // cell, so which accesses fault is a pure function of
@@ -72,8 +88,10 @@ public:
             injector_->reseed(mix_seed(cell_seed, kFaultSeedTag));
             context_.kernel->msr().clear_stale_cache();
         }
+        // Both branches above leave the machine pinned at freq_ with the
+        // rail settled, so the cell can skip the per-cell cpupower pass.
         const CellResult cell =
-            characterizer_.test_cell(freq_, characterizer_.offset_at_step(s));
+            characterizer_.test_cell_pinned(freq_, characterizer_.offset_at_step(s));
         ++cells_;
         if (cell.crashed) ++crashes_;
         return memo_.emplace(s, cell).first->second;
@@ -96,7 +114,8 @@ private:
     std::optional<resilience::FaultInjector> injector_;
     Megahertz freq_{};
     std::uint64_t row_seed_ = 0;
-    std::unordered_map<std::uint64_t, CellResult> memo_;
+    FlatMap<std::uint64_t, CellResult> memo_;  // begin_row clear keeps capacity
+    std::optional<sim::Machine::Snapshot> pinned_;  // per-row pinned state
     std::uint64_t cells_ = 0;
     std::uint64_t crashes_ = 0;
     std::uint64_t retry_base_ = 0;

@@ -1,8 +1,9 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cmath>
-#include <vector>
 
 #include "check/assert.hpp"
 #include "check/state_hasher.hpp"
@@ -16,7 +17,33 @@ std::uint64_t storage_key(unsigned core_id, std::uint32_t addr) {
     return (static_cast<std::uint64_t>(core_id) << 32) | addr;
 }
 
+std::atomic<SteppingMode> g_default_stepping{SteppingMode::Batched};
+
+// splitmix64 finalizer over the exact bit patterns of the arguments, so
+// the memo key distinguishes every representable (f, v, scale) point.
+std::uint64_t mix_bits(std::uint64_t h, std::uint64_t x) {
+    h ^= x + 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return h ^ (h >> 31);
+}
+
+std::uint64_t physics_key(std::uint64_t tag, double f, double v, double scale) {
+    std::uint64_t h = mix_bits(tag, std::bit_cast<std::uint64_t>(f));
+    h = mix_bits(h, std::bit_cast<std::uint64_t>(v));
+    h = mix_bits(h, std::bit_cast<std::uint64_t>(scale));
+    return h | 1;  // bit 0 set: cannot alias the empty-slot marker
+}
+
 }  // namespace
+
+void Machine::set_default_stepping_mode(SteppingMode m) {
+    g_default_stepping.store(m, std::memory_order_relaxed);
+}
+
+SteppingMode Machine::default_stepping_mode() {
+    return g_default_stepping.load(std::memory_order_relaxed);
+}
 
 namespace {
 // The base rail is PCU-driven: short command latency, same slew class as
@@ -278,12 +305,25 @@ Millivolts Machine::applied_offset(VoltagePlane plane) const {
     return regulator_.offset_at(plane, clock_);
 }
 
+double Machine::cached_fault_probability(Megahertz f, Millivolts v, InstrClass c,
+                                         double scale) const {
+    const std::uint64_t key =
+        physics_key(0xFA01 + static_cast<std::uint64_t>(c), f.value(), v.value(), scale);
+    return memo_.get(key, [&] { return fault_model_.fault_probability(f, v, c, scale); });
+}
+
+bool Machine::cached_would_crash(Megahertz f, Millivolts v, double scale) const {
+    const std::uint64_t key = physics_key(0xC4A5, f.value(), v.value(), scale);
+    return memo_.get(key, [&] { return fault_model_.would_crash(f, v, scale) ? 1.0 : 0.0; }) !=
+           0.0;
+}
+
 void Machine::maybe_crash() {
     if (crashed_) return;
     const Megahertz f = max_active_frequency();
     const double scale = thermal_.delay_scale();
     const Millivolts v_core = plane_voltage(VoltagePlane::Core);
-    if (fault_model_.would_crash(f, v_core, scale)) {
+    if (cached_would_crash(f, v_core, scale)) {
         crash("undervolt crash: control-path timing violated at " +
               std::to_string(f.value()) + " MHz / " + std::to_string(v_core.value()) +
               " mV (core plane)");
@@ -292,7 +332,7 @@ void Machine::maybe_crash() {
     // The cache plane feeds the (shorter) load path; kernel data accesses
     // corrupt and panic once it deterministically violates timing.
     const Millivolts v_cache = plane_voltage(VoltagePlane::Cache);
-    if (fault_model_.would_crash(f, v_cache, scale * path_factor(InstrClass::Load))) {
+    if (cached_would_crash(f, v_cache, scale * path_factor(InstrClass::Load))) {
         crash("undervolt crash: cache-path timing violated at " +
               std::to_string(f.value()) + " MHz / " + std::to_string(v_cache.value()) +
               " mV (cache plane)");
@@ -426,8 +466,45 @@ double Machine::fault_probability(unsigned core_id, InstrClass c) const {
     // rail; every other class with the core plane's.
     const VoltagePlane plane =
         c == InstrClass::Load ? VoltagePlane::Cache : VoltagePlane::Core;
-    return fault_model_.fault_probability(core(core_id).frequency(), plane_voltage(plane),
-                                          c, thermal_.delay_scale());
+    return cached_fault_probability(core(core_id).frequency(), plane_voltage(plane), c,
+                                    thermal_.delay_scale());
+}
+
+void Machine::retire_window(Core& cr, InstrClass c, std::uint64_t ops, Millivolts v,
+                            BatchResult& r) {
+    const double p = cached_fault_probability(cr.frequency(), v, c, thermal_.delay_scale());
+    const std::uint64_t faults = fault_model_.sample_fault_count(rng_, ops, p);
+    if (faults > 0)
+        PV_TRACE_EVENT(trace::EventKind::FaultInjected, "batch-fault", clock_.value(),
+                       faults, static_cast<std::uint64_t>(c));
+    r.faults += faults;
+    power_.on_retire(ops, v);
+    cr.retire(ops);
+    r.ops_done += ops;
+}
+
+void Machine::validate_window(const Core& cr, InstrClass c, VoltagePlane plane,
+                              Millivolts v_anchor, Picoseconds window) const {
+    // Sliced-mode soundness check: walk the window at the legacy 50 us
+    // granularity with READ-ONLY queries (the clock does not move) and
+    // require every assumption the closed-form step rests on.  All three
+    // checks are exact, not tolerance-based: settled rails return their
+    // target bit-identically, and the probability check doubles as a
+    // PhysicsMemo oracle (memoized anchor vs. direct evaluation).
+    if (!events_.empty() && events_.next_time() < clock_ + window)
+        throw SimError("batched window crosses an event boundary");
+    const double scale = thermal_.delay_scale();
+    const double p_anchor = cached_fault_probability(cr.frequency(), v_anchor, c, scale);
+    const Picoseconds step = microseconds(50.0);
+    for (Picoseconds t = clock_ + step; t < clock_ + window; t = t + step) {
+        const Millivolts v_t = base_rail_.offset_at(VoltagePlane::Core, t) +
+                               regulator_.offset_at(plane, t);
+        if (v_t.value() != v_anchor.value())
+            throw SimError("batched window rail voltage drifted from its anchor");
+        const double p_t = fault_model_.fault_probability(cr.frequency(), v_t, c, scale);
+        if (p_t != p_anchor)
+            throw SimError("batched window fault probability drifted from its anchor");
+    }
 }
 
 BatchResult Machine::run_batch(unsigned core_id, InstrClass c, std::uint64_t n_ops, double cpi) {
@@ -442,55 +519,70 @@ BatchResult Machine::run_batch(unsigned core_id, InstrClass c, std::uint64_t n_o
     }
     if (cr.cstate() != CState::C0) wake_core(core_id);
 
+    const VoltagePlane plane =
+        c == InstrClass::Load ? VoltagePlane::Cache : VoltagePlane::Core;
     std::uint64_t remaining = n_ops;
     while (remaining > 0 && !crashed_) {
-        // Kernel threads that fired during previous slices stole time.
+        // Kernel threads that fired during previous windows stole time.
         const Picoseconds steal = cr.drain_steal(Picoseconds{INT64_MAX});
         if (steal > Picoseconds{0}) {
             advance(steal);
             continue;
         }
+        if (!events_.empty() && events_.next_time() <= clock_) {
+            advance_to(events_.next_time());  // fire due events first
+            continue;
+        }
 
         const double op_ps = cpi * cr.frequency().period_ps();
-        const bool ramping = clock_ < rail_settle_time();
-        Picoseconds slice = ramping ? microseconds(1.0) : microseconds(50.0);
-        const auto need =
-            Picoseconds{static_cast<std::int64_t>(std::ceil(static_cast<double>(remaining) * op_ps))};
-        slice = std::min(slice, need);
-        if (!events_.empty()) {
-            const Picoseconds until_event = events_.next_time() - clock_;
-            if (until_event <= Picoseconds{0}) {
-                advance_to(events_.next_time());  // fire due events first
-                continue;
+        const auto need = Picoseconds{
+            static_cast<std::int64_t>(std::ceil(static_cast<double>(remaining) * op_ps))};
+
+        if (clock_ < rail_settle_time()) {
+            // A rail is ramping: sample it finely, exactly as before the
+            // batched rebuild — 1 us slices, midpoint-evaluated voltage.
+            Picoseconds slice = std::min(microseconds(1.0), need);
+            if (!events_.empty()) slice = std::min(slice, events_.next_time() - clock_);
+            auto ops = static_cast<std::uint64_t>(static_cast<double>(slice.value()) / op_ps);
+            ops = std::min(ops, remaining);
+            if (ops == 0) {
+                ops = 1;
+                slice = Picoseconds{static_cast<std::int64_t>(std::ceil(op_ps))};
             }
-            slice = std::min(slice, until_event);
+            const Picoseconds mid = clock_ + Picoseconds{slice.value() / 2};
+            const Millivolts v_mid = base_rail_.offset_at(VoltagePlane::Core, mid) +
+                                     regulator_.offset_at(plane, mid);
+            retire_window(cr, c, ops, v_mid, r);
+            remaining -= ops;
+            advance(slice);
+            continue;
         }
 
-        auto ops = static_cast<std::uint64_t>(static_cast<double>(slice.value()) / op_ps);
+        // Rails settled, no due event: the rail is constant until the
+        // next event boundary, so the whole stretch collapses into ONE
+        // closed-form window — one probability evaluation, one binomial
+        // draw, one power/thermal update, one clock advance.
+        Picoseconds window = need;
+        if (!events_.empty()) window = std::min(window, events_.next_time() - clock_);
+        auto ops = static_cast<std::uint64_t>(static_cast<double>(window.value()) / op_ps);
         ops = std::min(ops, remaining);
+        bool straddle = false;
         if (ops == 0) {
+            // One op straddles the event boundary: it retires whole and
+            // overshoots the boundary by less than one op period.
             ops = 1;
-            slice = Picoseconds{static_cast<std::int64_t>(std::ceil(op_ps))};
+            window = Picoseconds{static_cast<std::int64_t>(std::ceil(op_ps))};
+            straddle = true;
         }
-
-        // Evaluate the rail at the slice midpoint (it ramps within slices).
-        const VoltagePlane plane =
-            c == InstrClass::Load ? VoltagePlane::Cache : VoltagePlane::Core;
-        const Picoseconds mid = clock_ + Picoseconds{slice.value() / 2};
-        const Millivolts v_mid = base_rail_.offset_at(VoltagePlane::Core, mid) +
-                                 regulator_.offset_at(plane, mid);
-        const double p =
-            fault_model_.fault_probability(cr.frequency(), v_mid, c, thermal_.delay_scale());
-        const std::uint64_t slice_faults = fault_model_.sample_fault_count(rng_, ops, p);
-        if (slice_faults > 0)
-            PV_TRACE_EVENT(trace::EventKind::FaultInjected, "batch-fault", clock_.value(),
-                           slice_faults, static_cast<std::uint64_t>(c));
-        r.faults += slice_faults;
-        power_.on_retire(ops, v_mid);
-        cr.retire(ops);
-        r.ops_done += ops;
+        const Millivolts v = base_rail_.offset_at(VoltagePlane::Core, clock_) +
+                             regulator_.offset_at(plane, clock_);
+        if (stepping_mode_ == SteppingMode::Sliced && !straddle)
+            validate_window(cr, c, plane, v, window);
+        retire_window(cr, c, ops, v, r);
         remaining -= ops;
-        advance(slice);
+        batched_iterations_ += ops;
+        ++batch_windows_;
+        advance(window);
     }
     r.crashed = crashed_;
     r.finished = clock_;
@@ -591,12 +683,9 @@ std::uint64_t Machine::state_hash() const {
         h.mix(regulator_.offset_at(plane, clock_).value());
     }
     h.mix(base_rail_.offset_at(VoltagePlane::Core, clock_).value());
-    // unordered_map iterates in hash order; canonicalize by key.
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> msrs(msr_storage_.begin(),
-                                                              msr_storage_.end());
-    std::sort(msrs.begin(), msrs.end());
-    h.mix(static_cast<std::uint64_t>(msrs.size()));
-    for (const auto& [key, value] : msrs) {
+    // FlatMap iterates in key order: already canonical, no sort needed.
+    h.mix(static_cast<std::uint64_t>(msr_storage_.size()));
+    for (const auto& [key, value] : msr_storage_) {
         h.mix(key);
         h.mix(value);
     }
@@ -609,12 +698,72 @@ std::uint64_t Machine::state_hash() const {
 
 void Machine::reset(std::uint64_t seed) {
     restore_boot_state();
-    thermal_.rewind();  // the clock restarts from zero below
+    events_.rewind();   // the clock restarts from zero below
+    events_.reset_stats();
+    batched_iterations_ = 0;
+    batch_windows_ = 0;
+    thermal_.rewind();
     clock_ = Picoseconds{};
     crash_time_ = Picoseconds{};
     boot_count_ = 1;
     rng_ = Rng(seed);
     for (const auto& cb : reset_callbacks_) cb();
+}
+
+Machine::Snapshot Machine::capture_snapshot() const {
+    return Snapshot{
+        .owner = this,
+        .clock = clock_,
+        .crashed = crashed_,
+        .crash_reason = crash_reason_,
+        .crash_time = crash_time_,
+        .boot_count = boot_count_,
+        .cores = cores_,
+        .requested_freq = requested_freq_,
+        .regulator = regulator_,
+        .base_rail = base_rail_,
+        .power = power_,
+        .thermal = thermal_,
+        .energy_at_thermal_update = energy_at_thermal_update_,
+        .events = events_,
+        .msr_storage = msr_storage_,
+        .mailbox_target = mailbox_target_,
+        .last_ocm_write = last_ocm_write_,
+        .batched_iterations = batched_iterations_,
+        .batch_windows = batch_windows_,
+    };
+}
+
+void Machine::restore_snapshot(const Snapshot& snap, std::uint64_t seed) {
+    if (snap.owner != this)
+        throw SimError("snapshot restored onto a different machine");
+    clock_ = snap.clock;
+    crashed_ = snap.crashed;
+    crash_reason_ = snap.crash_reason;
+    crash_time_ = snap.crash_time;
+    boot_count_ = snap.boot_count;
+    cores_ = snap.cores;
+    requested_freq_ = snap.requested_freq;
+    regulator_ = snap.regulator;
+    base_rail_ = snap.base_rail;
+    power_ = snap.power;
+    thermal_ = snap.thermal;
+    energy_at_thermal_update_ = snap.energy_at_thermal_update;
+    events_ = snap.events;
+    msr_storage_ = snap.msr_storage;
+    mailbox_target_ = snap.mailbox_target;
+    last_ocm_write_ = snap.last_ocm_write;
+    batched_iterations_ = snap.batched_iterations;
+    batch_windows_ = snap.batch_windows;
+    rng_ = Rng(seed);
+}
+
+Machine::Stats Machine::stats() const {
+    const EventQueue::Stats& es = events_.stats();
+    return Stats{.events_dispatched = es.dispatched,
+                 .batched_iterations = batched_iterations_,
+                 .batch_windows = batch_windows_,
+                 .heap_peak = es.heap_peak};
 }
 
 }  // namespace pv::sim

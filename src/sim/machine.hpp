@@ -33,7 +33,6 @@
 #include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "check/invariant_registry.hpp"
@@ -46,6 +45,7 @@
 #include "sim/power.hpp"
 #include "sim/thermal.hpp"
 #include "sim/voltage_regulator.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -72,12 +72,36 @@ struct ImulResult {
     bool faulted = false;
 };
 
+/// How run_batch() traverses a settled execution window.  Both modes
+/// perform IDENTICAL physics and RNG operations — machine histories are
+/// bit-identical by construction.  Sliced additionally walks every
+/// window at the legacy 50 us granularity re-validating the
+/// window-anchor assumptions (no due event, no rail movement, no fault-
+/// probability drift inside the window) with read-only queries; it is
+/// the reference the perfpath differential tests run whole sweeps and
+/// campaign cubes under.  See DESIGN 5f for the soundness argument.
+enum class SteppingMode {
+    Batched,  ///< one closed-form step per settled window (production)
+    Sliced,   ///< fine-grained re-validating traversal (verification)
+};
+
 /// The simulated package (cores + regulator + MSRs + physics + clock).
 class Machine {
 public:
     using WriteHook =
         std::function<MsrWriteAction(unsigned core_id, std::uint32_t addr, std::uint64_t& value)>;
     using ResetCallback = std::function<void()>;
+
+    /// Traversal-work counters (NOT part of state_hash(): they measure
+    /// how the simulator walked the history, not the history itself —
+    /// but they ARE deterministic per cell, so campaign fingerprints may
+    /// include them).  Zeroed by reset(seed).
+    struct Stats {
+        std::uint64_t events_dispatched = 0;  ///< event-loop callbacks run
+        std::uint64_t batched_iterations = 0; ///< ops retired via settled windows
+        std::uint64_t batch_windows = 0;      ///< closed-form windows taken
+        std::uint64_t heap_peak = 0;          ///< event-heap high-water mark
+    };
 
     Machine(CpuProfile profile, std::uint64_t seed);
 
@@ -234,6 +258,47 @@ public:
     /// Number of completed boots (starts at 1).
     [[nodiscard]] unsigned boot_count() const { return boot_count_; }
 
+    // --- snapshot / restore -----------------------------------------------
+    /// Opaque copy of the machine's complete dynamic state — everything
+    /// reset() rebuilds, plus the live event queue — EXCEPT the RNG.
+    /// Lets a driver replay a seed-independent prologue (e.g. the sweep
+    /// engine's boot -> row-frequency pin, which draws no random numbers)
+    /// without re-simulating it for every cell.  Snapshots are only
+    /// valid on the machine that captured them: scheduled callbacks
+    /// capture `this`.
+    struct Snapshot {
+        const Machine* owner = nullptr;
+        Picoseconds clock;
+        bool crashed = false;
+        std::string crash_reason;
+        Picoseconds crash_time;
+        unsigned boot_count = 1;
+        std::vector<Core> cores;
+        std::vector<Megahertz> requested_freq;
+        VoltageRegulator regulator;
+        VoltageRegulator base_rail;
+        PowerModel power;
+        ThermalModel thermal;
+        double energy_at_thermal_update = 0.0;
+        EventQueue events;
+        FlatMap<std::uint64_t, std::uint64_t> msr_storage;
+        std::array<Millivolts, 5> mailbox_target{};
+        Picoseconds last_ocm_write;
+        std::uint64_t batched_iterations = 0;
+        std::uint64_t batch_windows = 0;
+    };
+
+    /// Capture the dynamic state (the RNG is deliberately excluded).
+    [[nodiscard]] Snapshot capture_snapshot() const;
+
+    /// Restore a snapshot captured on THIS machine and reseed the RNG —
+    /// bit-identical to re-running the captured history from reset(seed)
+    /// provided that history drew no random numbers and that externally
+    /// owned state (kernel threads, write hooks, invariants) has not
+    /// changed since capture.  Does NOT fire on-reset callbacks: the
+    /// restored event queue already carries any re-armed services.
+    void restore_snapshot(const Snapshot& snap, std::uint64_t seed);
+
     /// Register a callback fired at the end of every reboot().
     void on_reset(ResetCallback cb) { reset_callbacks_.push_back(std::move(cb)); }
 
@@ -256,7 +321,51 @@ public:
     /// determinism contract the parallel sweep engine is tested against.
     [[nodiscard]] std::uint64_t state_hash() const;
 
+    // --- stepping & stats ----------------------------------------------------
+    /// Per-instance traversal mode (defaults to default_stepping_mode()
+    /// at construction).
+    void set_stepping_mode(SteppingMode m) { stepping_mode_ = m; }
+    [[nodiscard]] SteppingMode stepping_mode() const { return stepping_mode_; }
+
+    /// Process-wide default for newly constructed Machines.  The
+    /// differential tests flip this to run whole engines (which build
+    /// their Machines internally) under Sliced validation.  Thread-safe;
+    /// set it between runs, not while machines are stepping.
+    static void set_default_stepping_mode(SteppingMode m);
+    [[nodiscard]] static SteppingMode default_stepping_mode();
+
+    [[nodiscard]] Stats stats() const;
+
 private:
+    // Direct-mapped cache for the pure fault-physics functions.  The
+    // characterization engine replays the identical boot -> row-frequency
+    // ramp for every cell, re-evaluating fault_probability/would_crash at
+    // the same handful of (f, v, scale) points thousands of times; a
+    // 1024-slot bit-pattern-keyed memo makes those re-evaluations a load.
+    // Determinism-neutral (the functions are pure), so it survives
+    // reset(seed) untouched.  Slots with key 0 are empty; computed keys
+    // set bit 0 so a genuine zero key cannot alias the empty marker.
+    class PhysicsMemo {
+    public:
+        template <typename Compute>
+        double get(std::uint64_t key, Compute&& compute) {
+            Entry& e = slots_[key & (kSlots - 1)];
+            if (e.key == key) return e.value;
+            const double v = compute();
+            e.key = key;
+            e.value = v;
+            return v;
+        }
+
+    private:
+        static constexpr std::size_t kSlots = 1024;
+        struct Entry {
+            std::uint64_t key = 0;
+            double value = 0.0;
+        };
+        std::array<Entry, kSlots> slots_{};
+    };
+
     void restore_boot_state();
     void register_builtin_invariants();
     void maybe_crash();
@@ -267,6 +376,19 @@ private:
     void apply_pending_raises();
     [[nodiscard]] Millivolts voltage_at(Picoseconds t) const;
     void integrate_power_to(Picoseconds t);
+
+    // Memoized fault physics (pure-function lookups; see PhysicsMemo).
+    [[nodiscard]] double cached_fault_probability(Megahertz f, Millivolts v, InstrClass c,
+                                                  double scale) const;
+    [[nodiscard]] bool cached_would_crash(Megahertz f, Millivolts v, double scale) const;
+
+    // run_batch helpers: retire one settled window (single probability
+    // eval, single binomial draw, single power/retire update), and the
+    // Sliced-mode read-only re-validation of the window-anchor
+    // assumptions at the legacy 50 us granularity.
+    void retire_window(Core& cr, InstrClass c, std::uint64_t ops, Millivolts v, BatchResult& r);
+    void validate_window(const Core& cr, InstrClass c, VoltagePlane plane, Millivolts v_anchor,
+                         Picoseconds window) const;
 
     CpuProfile profile_;
     VfCurve vf_;
@@ -282,7 +404,7 @@ private:
     Rng rng_;
     Picoseconds clock_{};
 
-    std::unordered_map<std::uint64_t, std::uint64_t> msr_storage_;  // key: core<<32 | addr
+    FlatMap<std::uint64_t, std::uint64_t> msr_storage_;  // key: core<<32 | addr
     // What the MAILBOX was commanded per plane.  Normally equals the
     // regulator target; diverges under hardware (SVID bus) injection,
     // which is exactly what mailbox readback cannot see.
@@ -298,6 +420,11 @@ private:
     Picoseconds reboot_delay_ = milliseconds(100.0);
     std::vector<ResetCallback> reset_callbacks_;
     check::InvariantRegistry invariants_;
+
+    SteppingMode stepping_mode_ = default_stepping_mode();
+    mutable PhysicsMemo memo_;
+    std::uint64_t batched_iterations_ = 0;
+    std::uint64_t batch_windows_ = 0;
 };
 
 }  // namespace pv::sim

@@ -6,10 +6,6 @@
 
 namespace pv::trace {
 
-namespace detail {
-thread_local TraceRecorder* tl_recorder = nullptr;
-}  // namespace detail
-
 const char* kind_name(EventKind kind) {
     switch (kind) {
         case EventKind::MsrRead: return "msr-read";

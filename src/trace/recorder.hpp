@@ -91,11 +91,23 @@ private:
 };
 
 namespace detail {
-extern thread_local TraceRecorder* tl_recorder;
+/// The calling thread's recorder binding, as a function-local TLS slot.
+/// A namespace-scope `extern thread_local` is reached through a weak
+/// compiler-generated wrapper (the variable may need dynamic init in
+/// another TU), which UBSan flags as a null-pointer load when the init
+/// symbol resolves weak-null.  A function-local thread_local with
+/// constant init has no wrapper and no guard: inlined, this is a plain
+/// TLS load — same cost as the raw variable, sanitizer-clean.
+[[nodiscard]] inline TraceRecorder*& tl_recorder_slot() noexcept {
+    thread_local TraceRecorder* slot = nullptr;
+    return slot;
+}
 }  // namespace detail
 
 /// The recorder bound to the calling thread, or nullptr (tracing off).
-[[nodiscard]] inline TraceRecorder* current_recorder() { return detail::tl_recorder; }
+[[nodiscard]] inline TraceRecorder* current_recorder() {
+    return detail::tl_recorder_slot();
+}
 
 /// Bind a recorder to the calling thread for a scope.  Binding nullptr
 /// is a no-op passthrough (the outer binding, if any, stays active), so
@@ -103,11 +115,11 @@ extern thread_local TraceRecorder* tl_recorder;
 class ScopedRecorder {
 public:
     explicit ScopedRecorder(TraceRecorder* recorder)
-        : previous_(detail::tl_recorder), bound_(recorder != nullptr) {
-        if (bound_) detail::tl_recorder = recorder;
+        : previous_(detail::tl_recorder_slot()), bound_(recorder != nullptr) {
+        if (bound_) detail::tl_recorder_slot() = recorder;
     }
     ~ScopedRecorder() {
-        if (bound_) detail::tl_recorder = previous_;
+        if (bound_) detail::tl_recorder_slot() = previous_;
     }
 
     ScopedRecorder(const ScopedRecorder&) = delete;
