@@ -5,6 +5,7 @@
 #   scripts/check.sh --asan     # + ASan/UBSan build, ctest -LE soak
 #   scripts/check.sh --tsan     # + TSan build, ctest -L "concurrency|resilience"
 #   scripts/check.sh --tidy     # + clang-tidy over src/ (needs clang-tidy)
+#   scripts/check.sh --lint     # + pv-lint domain-contract analyzer (no clang needed)
 #   scripts/check.sh --bench    # + perf gate vs bench/baselines (bench_compare.py)
 #   scripts/check.sh --all      # everything above
 #
@@ -12,14 +13,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-run_asan=0 run_tsan=0 run_tidy=0 run_bench=0
+run_asan=0 run_tsan=0 run_tidy=0 run_lint=0 run_bench=0
 for arg in "$@"; do
     case "$arg" in
         --asan) run_asan=1 ;;
         --tsan) run_tsan=1 ;;
         --tidy) run_tidy=1 ;;
+        --lint) run_lint=1 ;;
         --bench) run_bench=1 ;;
-        --all)  run_asan=1 run_tsan=1 run_tidy=1 run_bench=1 ;;
+        --all)  run_asan=1 run_tsan=1 run_tidy=1 run_lint=1 run_bench=1 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -65,6 +67,15 @@ if [ "$run_tidy" -eq 1 ]; then
     cmake -B build-check-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
         "${launcher[@]}" >/dev/null
     run-clang-tidy -p build-check-tidy -quiet "$(pwd)/src/.*\.cpp$"
+fi
+
+if [ "$run_lint" -eq 1 ]; then
+    step "pv-lint (domain contracts: determinism, layering, MSR safety)"
+    # Standalone configure: builds only tools/pvlint, no GTest/benchmark,
+    # so this works (fast) even where the full tree's deps are absent.
+    cmake -B build-check-lint -S tools/pvlint "${launcher[@]}" >/dev/null
+    cmake --build build-check-lint -j "$jobs"
+    ./build-check-lint/pvlint --root .
 fi
 
 if [ "$run_bench" -eq 1 ]; then

@@ -1,0 +1,44 @@
+// PlugVolt — central MSR register registry.
+//
+// THE single home for raw MSR register numbers.  pv-lint rule
+// msr-constant bans these hex values everywhere else under src/, so
+// every register the tree touches is enumerable here — the property the
+// wrmsr-filtering deployments (and the PMFault/V0LTpwn threat analysis)
+// depend on: you cannot audit "every MSR write goes through the driver"
+// if you cannot list the MSRs.
+//
+// Layering: this header is its own rank-0 leaf in the pv-lint subsystem
+// DAG (like util), includable from anywhere, and may itself include
+// nothing but the standard library.  Subsystem-facing aliases (e.g.
+// sim::kMsrOcMailbox) forward here so existing call sites keep their
+// names.
+//
+// pv-lint parses the `= 0x...;` initializers below to learn which hex
+// values to guard — adding a register here automatically bans its raw
+// form tree-wide.
+#pragma once
+
+#include <cstdint>
+
+namespace pv::msr {
+
+/// Overclocking mailbox (Plundervolt's undervolt interface; Table 1).
+inline constexpr std::uint32_t kOcMailbox = 0x150;
+/// IA32_PERF_STATUS: frequency ratio + measured core voltage.
+inline constexpr std::uint32_t kPerfStatus = 0x198;
+/// IA32_PERF_CTL: requested performance state.
+inline constexpr std::uint32_t kPerfCtl = 0x199;
+/// IA32_THERM_STATUS: digital readout = Tjmax - T.
+inline constexpr std::uint32_t kThermStatus = 0x19C;
+/// IA32_TEMPERATURE_TARGET: Tjmax.
+inline constexpr std::uint32_t kTemperatureTarget = 0x1A2;
+/// Hypothetical MSR_VOLTAGE_OFFSET_LIMIT proposed in Sec. 5.2 of the
+/// paper (analogous to DRAM_MIN_PWR in MSR_DRAM_POWER_INFO).  The index
+/// is outside Intel's allocated ranges on purpose.
+inline constexpr std::uint32_t kVoltageOffsetLimit = 0x1F0;
+/// MSR_RAPL_POWER_UNIT: energy/power/time unit exponents.
+inline constexpr std::uint32_t kRaplPowerUnit = 0x606;
+/// MSR_PKG_ENERGY_STATUS: accumulated package energy.
+inline constexpr std::uint32_t kPkgEnergyStatus = 0x611;
+
+}  // namespace pv::msr

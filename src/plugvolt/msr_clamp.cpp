@@ -27,12 +27,17 @@ Millivolts MsrClamp::decode_limit(std::uint64_t raw) {
 
 void MsrClamp::install() {
     if (clamp_token_) return;
-    // Fuse the limit before arming the lock hook.
+    // Fuse the limit before arming the lock hook.  This deployment is
+    // BIOS/pcode-level by construction (Sec. 5.2): it programs the limit
+    // register beneath the OS driver, so the audited-driver rule does
+    // not apply to it — that is the point of the deployment.
+    // pv-lint: allow(msr-raw-access) BIOS/pcode-level install, below the driver by design
     machine_.write_msr(0, sim::kMsrVoltageOffsetLimit, encode_limit(limit_, locked_));
 
     lock_token_ = machine_.add_write_hook(
         [this](unsigned, std::uint32_t addr, std::uint64_t&) {
             if (addr != sim::kMsrVoltageOffsetLimit) return sim::MsrWriteAction::Allow;
+            // pv-lint: allow(msr-raw-access) write-hook context: pcode reading its own register
             const std::uint64_t current = machine_.read_msr(0, sim::kMsrVoltageOffsetLimit);
             if (current & (1ULL << 31)) {  // lock bit set: frozen until reset
                 ++blocked_limit_writes_;
@@ -50,8 +55,9 @@ void MsrClamp::install() {
                         req->plane == sim::VoltagePlane::Cache);
             if (!req || !req->command || !req->write_enable || !fault_relevant)
                 return sim::MsrWriteAction::Allow;
-            const Millivolts live_limit =
-                decode_limit(machine_.read_msr(0, sim::kMsrVoltageOffsetLimit));
+            const Millivolts live_limit = decode_limit(
+                // pv-lint: allow(msr-raw-access) write-hook context: pcode reads its own register
+                machine_.read_msr(0, sim::kMsrVoltageOffsetLimit));
             if (req->offset < live_limit) {
                 ++clamped_;  // DRAM_MIN_PWR-style clamp, not a drop
                 value = sim::encode_offset(live_limit, req->plane);

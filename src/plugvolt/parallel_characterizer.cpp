@@ -4,7 +4,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -292,7 +291,9 @@ SafeStateMap ParallelCharacterizer::run_sweep(
     stats_ = {};
 
     // Rows already durable in the journal are adopted, not re-probed.
-    std::unordered_map<std::uint64_t, resilience::RowRecord> done;
+    // FlatMap, not unordered_map: this path feeds the replay fingerprint,
+    // and flat iteration order is canonical (pv-lint determinism-unordered).
+    FlatMap<std::uint64_t, resilience::RowRecord> done;
     std::uint64_t journal_bytes_base = 0;
     if (journal != nullptr) {
         if (journal->header().config_hash != config_hash())

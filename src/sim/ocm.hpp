@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "os/msr_regs.hpp"
 #include "util/units.hpp"
 
 namespace pv::sim {
@@ -43,16 +44,17 @@ struct OcmRequest {
     bool command = false;
 };
 
-/// MSR index of the overclocking mailbox.
-inline constexpr std::uint32_t kMsrOcMailbox = 0x150;
+/// MSR index of the overclocking mailbox (see os/msr_regs.hpp, the
+/// central registry every raw register number lives in).
+inline constexpr std::uint32_t kMsrOcMailbox = msr::kOcMailbox;
 /// MSR index of IA32_PERF_STATUS (frequency ratio + measured voltage).
-inline constexpr std::uint32_t kMsrPerfStatus = 0x198;
+inline constexpr std::uint32_t kMsrPerfStatus = msr::kPerfStatus;
 /// MSR index of IA32_PERF_CTL (requested performance state).
-inline constexpr std::uint32_t kMsrPerfCtl = 0x199;
+inline constexpr std::uint32_t kMsrPerfCtl = msr::kPerfCtl;
 /// Hypothetical MSR_VOLTAGE_OFFSET_LIMIT proposed in Sec. 5.2 of the
 /// paper (analogous to DRAM_MIN_PWR in MSR_DRAM_POWER_INFO).  The index
 /// is outside Intel's allocated ranges on purpose.
-inline constexpr std::uint32_t kMsrVoltageOffsetLimit = 0x1F0;
+inline constexpr std::uint32_t kMsrVoltageOffsetLimit = msr::kVoltageOffsetLimit;
 
 /// Encode a mailbox write for `offset` on `plane` with write-enable and
 /// command bits set.  Offsets are clamped to the representable 11-bit

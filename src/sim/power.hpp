@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "os/msr_regs.hpp"
 #include "util/units.hpp"
 
 namespace pv::sim {
@@ -24,9 +25,9 @@ struct PowerParams {
     double leak_mw_per_v2 = 900.0;
 };
 
-/// MSR indices of the modeled RAPL interface.
-inline constexpr std::uint32_t kMsrRaplPowerUnit = 0x606;
-inline constexpr std::uint32_t kMsrPkgEnergyStatus = 0x611;
+/// MSR indices of the modeled RAPL interface (registry aliases).
+inline constexpr std::uint32_t kMsrRaplPowerUnit = msr::kRaplPowerUnit;
+inline constexpr std::uint32_t kMsrPkgEnergyStatus = msr::kPkgEnergyStatus;
 
 /// Accumulates package energy.
 class PowerModel {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "os/msr_regs.hpp"
 #include "util/units.hpp"
 
 namespace pv::sim {
@@ -31,9 +32,9 @@ struct ThermalParams {
     double delay_per_c = 0.0005;
 };
 
-/// MSR indices of the modeled thermal interface.
-inline constexpr std::uint32_t kMsrThermStatus = 0x19C;
-inline constexpr std::uint32_t kMsrTemperatureTarget = 0x1A2;
+/// MSR indices of the modeled thermal interface (registry aliases).
+inline constexpr std::uint32_t kMsrThermStatus = msr::kThermStatus;
+inline constexpr std::uint32_t kMsrTemperatureTarget = msr::kTemperatureTarget;
 
 /// Lazily-evaluated die temperature.
 class ThermalModel {

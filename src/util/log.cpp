@@ -14,6 +14,8 @@ namespace {
 // enough — the level is a filter, not a synchronization point.
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::atomic<LogTap> g_tap{nullptr};
+// pv-lint: allow(concurrency-guard) guards std::cerr, an external stream
+// with no annotatable field; MutexLock in log_line is the whole protocol
 Mutex g_sink_mutex;  // serializes emission: workers log concurrently
 
 const char* level_tag(LogLevel level) {

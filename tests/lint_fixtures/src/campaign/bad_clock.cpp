@@ -1,0 +1,12 @@
+// Seeded violations: determinism-clock (wall/monotonic time in a
+// fingerprint-bearing subsystem; simulated time comes from the event
+// queue).  Lines pinned by tests/test_pvlint.cpp.
+#include <chrono>
+
+double fixture_elapsed() {
+    const auto t0 = std::chrono::steady_clock::now();  // line 7: determinism-clock
+    const auto t1 = std::chrono::system_clock::now();  // line 8: determinism-clock
+    (void)t1;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)  // line 10
+        .count();
+}

@@ -1,0 +1,5 @@
+// Exists so bad_layering.cpp's campaign include resolves in the file
+// graph; deliberately violation-free.
+#pragma once
+
+double fixture_elapsed();

@@ -1,0 +1,10 @@
+// Seeded violations: concurrency-primitive (raw std primitives invisible
+// to the thread-safety analysis) and concurrency-guard (a Mutex that
+// guards no annotated field).  Lines pinned by tests/test_pvlint.cpp.
+#include <mutex>
+
+struct FixtureShared {
+    std::mutex legacy_mutex;            // line 7: concurrency-primitive
+    std::condition_variable legacy_cv;  // line 8: concurrency-primitive
+    Mutex orphan_mutex_;                // line 9: concurrency-guard
+};

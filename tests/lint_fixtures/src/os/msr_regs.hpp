@@ -1,0 +1,14 @@
+// Fixture registry: pvlint parses these initializers to learn which hex
+// values rule msr-constant guards — 0x7F7 below proves the parser path
+// (it is not in the builtin list, yet bad_msr.cpp's raw 0x7F7 is flagged).
+#pragma once
+
+#include <cstdint>
+
+namespace pv::msr {
+
+inline constexpr std::uint32_t kOcMailbox = 0x150;
+inline constexpr std::uint32_t kPerfStatus = 0x198;
+inline constexpr std::uint32_t kFixtureOnly = 0x7F7;
+
+}  // namespace pv::msr

@@ -1,0 +1,16 @@
+// Seeded violations: msr-constant (raw register numbers that belong in
+// the central registry) and msr-raw-access (machine-level MSR pokes
+// outside src/os).  Lines pinned by tests/test_pvlint.cpp.
+#include <cstdint>
+
+struct FixtureMachine {
+    void write_msr(int cpu, std::uint32_t reg, std::uint64_t value);
+    std::uint64_t read_msr(int cpu, std::uint32_t reg);
+};
+
+void fixture_poke(FixtureMachine& machine) {
+    machine.write_msr(0, 0x150, 0);    // line 12: msr-constant + msr-raw-access
+    (void)machine.read_msr(0, 0x7F7);  // line 13: same, 0x7F7 via registry parse
+    std::uint64_t not_an_msr = 0xDEAD;  // NOT flagged: not a registry value
+    (void)not_an_msr;
+}

@@ -1,0 +1,16 @@
+// Seeded violations: error-path-throw — the throwing legacy driver API
+// on resilience paths, where environment faults must be domain values.
+// Lines pinned by tests/test_pvlint.cpp.
+#include <cstdint>
+
+struct FixtureDriver {
+    std::uint64_t rdmsr(std::uint32_t reg);
+    void ioctl_wrmsr(std::uint32_t reg, std::uint64_t value);
+};
+
+std::uint64_t fixture_poll(FixtureDriver& driver, FixtureDriver* raw,
+                           std::uint32_t reg) {
+    const std::uint64_t status = driver.rdmsr(reg);  // line 13: error-path-throw
+    raw->ioctl_wrmsr(reg, status);                   // line 14: error-path-throw
+    return status;
+}

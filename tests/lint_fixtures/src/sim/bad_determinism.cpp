@@ -1,0 +1,15 @@
+// Seeded violations: determinism-rng and determinism-unordered.
+// Line numbers are pinned by tests/test_pvlint.cpp — edit both together.
+#include <random>
+#include <unordered_map>  // line 4: determinism-unordered
+
+int fixture_entropy() {
+    std::random_device rd;  // line 7: determinism-rng
+    int x = rand();         // line 8: determinism-rng
+    // "rand()" in a comment or string must NOT be flagged: rand() srand()
+    const char* s = "calls rand() and uses std::unordered_map";
+    (void)s;
+    std::unordered_map<int, int> table;  // line 12: determinism-unordered
+    table[static_cast<int>(rd())] = x;
+    return static_cast<int>(table.size());
+}

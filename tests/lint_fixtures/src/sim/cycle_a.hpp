@@ -1,0 +1,5 @@
+// Half of a seeded include cycle (layering-cycle): a -> b -> a.
+#pragma once
+#include "sim/cycle_b.hpp"  // line 3: one edge of the cycle
+
+inline int fixture_cycle_a() { return 1; }

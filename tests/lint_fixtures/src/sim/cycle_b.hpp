@@ -1,0 +1,5 @@
+// Other half of the seeded include cycle (layering-cycle).
+#pragma once
+#include "sim/cycle_a.hpp"  // line 3: the back edge closing the cycle
+
+inline int fixture_cycle_b() { return 2; }

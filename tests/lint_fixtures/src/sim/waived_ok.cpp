@@ -1,0 +1,9 @@
+// A correctly waived violation: the waiver names the rule and carries a
+// reason, so pvlint must suppress it (visible only via --show-suppressed).
+#include <chrono>
+
+double fixture_sanctioned_timing() {
+    // pv-lint: allow(determinism-clock) fixture: demonstrates a valid waiver
+    const auto t0 = std::chrono::steady_clock::now();  // line 7: waived
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

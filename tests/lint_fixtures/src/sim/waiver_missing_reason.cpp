@@ -1,0 +1,9 @@
+// A malformed waiver: no reason after allow(...).  pvlint must emit a
+// "waiver" finding for the comment AND leave the original unsuppressed.
+#include <chrono>
+
+double fixture_unjustified() {
+    // pv-lint: allow(determinism-clock)
+    const auto t0 = std::chrono::system_clock::now();  // line 7: still blocking
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -1,0 +1,7 @@
+// Seeded violation: a second orphaned-Mutex site (concurrency-guard),
+// in a different subsystem from bad_mutex.cpp.
+#pragma once
+
+class FixtureTraceBuffer {
+    mutable Mutex buffer_mutex_;  // line 6: concurrency-guard
+};

@@ -1,0 +1,7 @@
+// Seeded violations: layering.  util is rank 0 — the bottom of the
+// subsystem DAG — so including sim (rank 2) or campaign (rank 7) climbs
+// the graph.  Lines pinned by tests/test_pvlint.cpp.
+#include "sim/cycle_a.hpp"          // line 4: layering (util -> sim)
+#include "campaign/bad_clock.hpp"   // line 5: layering (util -> campaign)
+
+int fixture_layering() { return 0; }

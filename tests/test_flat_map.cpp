@@ -1,0 +1,145 @@
+// Direct unit tests for pv::FlatMap (util/flat_map.hpp) — the sorted
+// flat-vector map the hot path and the parallel characterizer rely on for
+// canonical (fingerprint-stable) iteration.  Covers the basic map
+// contract, sorted-iteration canonicality under adversarial insert
+// orders, capacity reuse across clear(), and a seeded property test
+// checking op-sequence equivalence against std::map.
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "prop/prop.hpp"
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace pv {
+namespace {
+
+TEST(FlatMap, InsertFindErase) {
+    FlatMap<int, std::string> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_FALSE(map.contains(3));
+    EXPECT_TRUE(map.find(3) == map.end());
+
+    auto [it, inserted] = map.emplace(3, "three");
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(it->second, "three");
+    EXPECT_TRUE(map.contains(3));
+    EXPECT_EQ(map.size(), 1u);
+
+    // std::map::emplace semantics: an existing key is left untouched.
+    auto [again, inserted2] = map.emplace(3, "THREE");
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(again->second, "three");
+    EXPECT_EQ(map.size(), 1u);
+
+    EXPECT_EQ(map.erase(3), 1u);
+    EXPECT_EQ(map.erase(3), 0u);
+    EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+    FlatMap<int, int> map;
+    map[7] = 70;
+    EXPECT_EQ(map[7], 70);
+    EXPECT_EQ(map[8], 0);  // default-constructed on first touch
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, AtThrowsOnMissingKey) {
+    FlatMap<int, int> map;
+    map[1] = 10;
+    EXPECT_EQ(map.at(1), 10);
+    EXPECT_THROW(map.at(2), std::out_of_range);
+    const FlatMap<int, int>& cref = map;
+    EXPECT_EQ(cref.at(1), 10);
+    EXPECT_THROW(cref.at(2), std::out_of_range);
+}
+
+TEST(FlatMap, IterationIsSortedRegardlessOfInsertOrder) {
+    // Seeded-random insertion order; iteration must still be canonical
+    // (ascending by key) — this is what makes FlatMap fingerprint-safe
+    // where unordered containers are not.
+    Rng rng(mix_seed(0xF1A7, 1));
+    std::vector<int> order;
+    for (int k = 0; k < 64; ++k) order.push_back(k);
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.uniform_below(i)]);
+
+    FlatMap<int, int> map;
+    for (const int k : order) map[k] = k * k;
+    ASSERT_EQ(map.size(), 64u);
+    int expected = 0;
+    for (const auto& [key, value] : map) {
+        EXPECT_EQ(key, expected);
+        EXPECT_EQ(value, expected * expected);
+        ++expected;
+    }
+}
+
+TEST(FlatMap, ClearKeepsBufferForReuse) {
+    // clear() must keep the allocation so Machine::reset() recycles it:
+    // re-inserting no more entries than before cannot reallocate, so the
+    // first element's address is stable across clear().
+    FlatMap<int, int> map;
+    for (int k = 0; k < 32; ++k) map[k] = k;
+    const void* const buffer = &*map.begin();
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    for (int k = 0; k < 32; ++k) map[k] = k + 1;
+    EXPECT_EQ(static_cast<const void*>(&*map.begin()), buffer);
+    EXPECT_EQ(map.at(31), 32);
+}
+
+TEST(FlatMap, PropOpSequenceMatchesStdMap) {
+    // Any interleaving of emplace/erase/operator[] must leave FlatMap
+    // element-wise equal to std::map driven with the same ops (std::map
+    // iterates in key order, so equality also re-checks canonicality).
+    PROP_CHECK(
+        0xF1A7'0001, 200,
+        [](std::int64_t case_seed) {
+            Rng rng(mix_seed(0x5EED, static_cast<std::uint64_t>(case_seed)));
+            FlatMap<std::uint64_t, std::uint64_t> flat;
+            std::map<std::uint64_t, std::uint64_t> ref;
+            for (int op = 0; op < 128; ++op) {
+                const std::uint64_t key = rng.uniform_below(24);
+                switch (rng.uniform_below(4)) {
+                    case 0: {
+                        const std::uint64_t value = rng.next_u64();
+                        const bool a = flat.emplace(key, value).second;
+                        const bool b = ref.emplace(key, value).second;
+                        if (a != b) return false;
+                        break;
+                    }
+                    case 1:
+                        if (flat.erase(key) != ref.erase(key)) return false;
+                        break;
+                    case 2: {
+                        const std::uint64_t value = rng.next_u64();
+                        flat[key] = value;
+                        ref[key] = value;
+                        break;
+                    }
+                    default:
+                        if (flat.contains(key) != (ref.count(key) != 0)) return false;
+                        break;
+                }
+            }
+            if (flat.size() != ref.size()) return false;
+            auto it = ref.begin();
+            for (const auto& [key, value] : flat) {
+                if (it == ref.end() || key != it->first || value != it->second) return false;
+                ++it;
+            }
+            return it == ref.end();
+        },
+        prop::IntDomain{0, 1'000'000});
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,144 @@
+// pv-lint — domain-contract static analyzer for the PlugVolt tree.
+//
+// Generic tooling (clang-tidy, -Wthread-safety, sanitizers) cannot see
+// the contracts this repo's guarantees rest on: bit-exact replay
+// fingerprints, the subsystem layering DAG, the audited-MSR-driver
+// story, the annotated concurrency wrappers, and the no-throw error
+// paths of the resilience layer.  pv-lint enforces those five contract
+// families with a token-level scanner and an include-graph walker — no
+// libclang, no compiler, so it runs anywhere the repo checks out
+// (including the clang-free 1-CPU container the PR 2 sanitizer matrix
+// cannot cover).
+//
+// Rule families (ids are what waivers and the baseline reference):
+//   determinism-rng        std::random_device / rand() / srand() anywhere
+//   determinism-clock      wall/monotonic clocks outside the sanctioned
+//                          bench-timer allowlist (bench/bench_common.hpp)
+//   determinism-unordered  unordered containers in fingerprint-bearing
+//                          subsystems (src/sim, src/plugvolt,
+//                          src/campaign, src/trace)
+//   layering               cross-subsystem #include that climbs or ties
+//                          the subsystem DAG; internal trace headers
+//                          included from outside src/trace
+//   layering-cycle         a cycle in the file-level include graph
+//   msr-constant           a raw MSR register number (0x150, 0x198, ...)
+//                          outside the central registry src/os/msr_regs.hpp
+//   msr-raw-access         .write_msr()/.read_msr() machine-level access
+//                          outside src/sim + src/os (must go through the
+//                          audited MsrDriver)
+//   concurrency-primitive  std::mutex / std::condition_variable & friends
+//                          instead of the annotated pv::Mutex/CondVar
+//   concurrency-guard      a Mutex declaration in a file with no
+//                          PV_GUARDED_BY field (a lock that guards
+//                          nothing the analysis can see)
+//   error-path-throw       the throwing legacy driver API (.rdmsr(),
+//                          .wrmsr(), .ioctl_*()) in src/resilience or the
+//                          polling/degradation paths, where domain
+//                          outcomes must be values (try_*), not exceptions
+//   waiver                 a malformed pv-lint waiver comment (missing
+//                          reason, unknown rule); never waivable itself
+//
+// Waiver syntax, reason mandatory:
+//   code();  // pv-lint: allow(rule-id[,rule-id...]) why this is sound
+// A waiver on a comment-only line applies to the next line instead.
+//
+// Baseline: a committed file of "file:line:rule" keys (see
+// tools/pvlint/baseline.txt) accepted without inline waivers — the
+// escape hatch for adopting the linter on a tree with legacy findings.
+// This tree ships lint-clean, so the committed baseline is empty.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pvlint {
+
+enum class Rule {
+    DeterminismRng,
+    DeterminismClock,
+    DeterminismUnordered,
+    Layering,
+    LayeringCycle,
+    MsrConstant,
+    MsrRawAccess,
+    ConcurrencyPrimitive,
+    ConcurrencyGuard,
+    ErrorPathThrow,
+    Waiver,
+};
+
+/// Kebab-case rule id, e.g. "determinism-rng".
+[[nodiscard]] const char* rule_name(Rule rule);
+[[nodiscard]] std::optional<Rule> rule_from_name(std::string_view name);
+/// Every real rule id (excludes nothing; includes "waiver").
+[[nodiscard]] const std::vector<Rule>& all_rules();
+
+struct Finding {
+    std::string file;  ///< root-relative, '/'-separated
+    int line = 0;      ///< 1-based
+    Rule rule = Rule::Waiver;
+    std::string message;
+    bool waived = false;     ///< suppressed by a well-formed inline waiver
+    bool baselined = false;  ///< suppressed by the committed baseline
+};
+
+/// One inline waiver comment, keyed by the line it targets.
+struct Waiver {
+    std::set<Rule> rules;
+    bool has_reason = false;
+    int comment_line = 0;  ///< where the comment itself sits
+};
+
+/// A loaded source file: raw lines for waiver parsing, code lines with
+/// comments and string/char literals blanked (spaces, line structure
+/// preserved) for token rules.
+struct SourceFile {
+    std::string rel;
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+    std::map<int, Waiver> waivers;          ///< target line -> waiver
+    std::vector<Finding> waiver_findings;   ///< malformed waiver comments
+};
+
+struct Config {
+    std::filesystem::path root;
+    /// Directories under root to scan (first path component, e.g. "src").
+    std::vector<std::string> scan_dirs = {"src", "bench", "tests", "examples"};
+    /// Root-relative path prefixes never scanned (fixtures, build trees).
+    std::vector<std::string> excludes = {"tests/lint_fixtures", "build"};
+    /// Files where monotonic-clock use is sanctioned (the bench timer).
+    std::vector<std::string> clock_allowlist = {"bench/bench_common.hpp"};
+};
+
+struct Report {
+    std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+    int files_scanned = 0;
+    [[nodiscard]] int unwaived() const;
+};
+
+/// Load + blank + waiver-parse one file (exposed for tests).
+[[nodiscard]] SourceFile load_source(const std::filesystem::path& path, std::string rel);
+/// Blank comments and string/char literals, preserving line structure.
+[[nodiscard]] std::string strip_comments_and_strings(std::string_view text);
+
+/// Run every rule over the tree under config.root.
+[[nodiscard]] Report run(const Config& config);
+
+/// Baseline keys are "file:line:rule".
+[[nodiscard]] std::string baseline_key(const Finding& finding);
+[[nodiscard]] std::set<std::string> load_baseline(const std::filesystem::path& path);
+/// Mark findings whose key appears in the baseline ("waiver" findings are
+/// never baselinable).
+void apply_baseline(Report& report, const std::set<std::string>& baseline);
+
+void write_text(const Report& report, std::ostream& out, bool show_suppressed = false);
+void write_json(const Report& report, std::ostream& out);
+void write_baseline(const Report& report, std::ostream& out);
+
+}  // namespace pvlint

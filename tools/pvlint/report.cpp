@@ -1,0 +1,83 @@
+// pv-lint — text, JSON, and baseline report writers.
+#include "pvlint.hpp"
+
+#include <ostream>
+
+namespace pvlint {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+void write_text(const Report& report, std::ostream& out, bool show_suppressed) {
+    int waived = 0;
+    int baselined = 0;
+    for (const Finding& f : report.findings) {
+        if (f.waived) {
+            ++waived;
+            if (!show_suppressed) continue;
+        } else if (f.baselined) {
+            ++baselined;
+            if (!show_suppressed) continue;
+        }
+        out << f.file << ':' << f.line << ": [" << rule_name(f.rule) << "] " << f.message;
+        if (f.waived) out << " (waived)";
+        if (f.baselined) out << " (baselined)";
+        out << '\n';
+    }
+    out << "pv-lint: " << report.files_scanned << " files, " << report.findings.size()
+        << " findings (" << waived << " waived, " << baselined << " baselined, "
+        << report.unwaived() << " blocking)\n";
+}
+
+void write_json(const Report& report, std::ostream& out) {
+    out << "{\n  \"files_scanned\": " << report.files_scanned
+        << ",\n  \"blocking\": " << report.unwaived() << ",\n  \"findings\": [";
+    bool first = true;
+    for (const Finding& f : report.findings) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": " << f.line
+            << ", \"rule\": \"" << rule_name(f.rule) << "\", \"waived\": "
+            << (f.waived ? "true" : "false") << ", \"baselined\": "
+            << (f.baselined ? "true" : "false") << ", \"message\": \""
+            << json_escape(f.message) << "\"}";
+    }
+    out << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+void write_baseline(const Report& report, std::ostream& out) {
+    out << "# pv-lint baseline: findings accepted without inline waivers.\n"
+           "# One \"file:line:rule\" key per line; regenerate with\n"
+           "#   pvlint --root . --write-baseline tools/pvlint/baseline.txt\n"
+           "# Prefer inline waivers (searchable, reasoned, move with the code);\n"
+           "# the baseline exists for bulk adoption and should trend to empty.\n";
+    for (const Finding& f : report.findings) {
+        if (f.rule == Rule::Waiver || f.waived) continue;
+        out << baseline_key(f) << '\n';
+    }
+}
+
+}  // namespace pvlint

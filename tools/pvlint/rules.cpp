@@ -1,0 +1,354 @@
+// pv-lint — token rules and the run() driver.
+#include "pvlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace pvlint {
+
+namespace detail {
+// layers.cpp
+void check_layering(const std::map<std::string, SourceFile>& files,
+                    std::vector<Finding>& findings);
+}  // namespace detail
+
+namespace {
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+/// Positions (1-based column irrelevant; we only need the line) where
+/// `ident` appears as a whole identifier in `line`.
+std::vector<std::size_t> ident_occurrences(std::string_view line, std::string_view ident) {
+    std::vector<std::size_t> hits;
+    std::size_t pos = 0;
+    while ((pos = line.find(ident, pos)) != std::string_view::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+        const std::size_t end = pos + ident.size();
+        const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+        if (left_ok && right_ok) hits.push_back(pos);
+        pos += ident.size();
+    }
+    return hits;
+}
+
+/// The last non-space character before `pos`, or '\0'.
+char prev_nonspace(std::string_view line, std::size_t pos) {
+    while (pos > 0) {
+        --pos;
+        if (!std::isspace(static_cast<unsigned char>(line[pos]))) return line[pos];
+    }
+    return '\0';
+}
+
+/// True when the identifier at `pos` is reached via `.` or `->` (a member
+/// call).  A lone '>' (template bracket) does not count.
+bool is_member_access(std::string_view line, std::size_t pos) {
+    std::size_t p = pos;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(line[p - 1]))) --p;
+    if (p == 0) return false;
+    if (line[p - 1] == '.') return true;
+    return p >= 2 && line[p - 1] == '>' && line[p - 2] == '-';
+}
+
+/// True when the identifier at `pos` is qualified as std:: (handles
+/// "std::rand" and "::std::rand").
+bool is_std_qualified(std::string_view line, std::size_t pos) {
+    std::size_t p = pos;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(line[p - 1]))) --p;
+    if (p < 2 || line[p - 1] != ':' || line[p - 2] != ':') return false;
+    p -= 2;
+    return p >= 3 && line.substr(p - 3, 3) == "std";
+}
+
+/// Next non-space character at/after `pos`, or '\0'.
+char next_nonspace(std::string_view line, std::size_t pos) {
+    while (pos < line.size()) {
+        if (!std::isspace(static_cast<unsigned char>(line[pos]))) return line[pos];
+        ++pos;
+    }
+    return '\0';
+}
+
+struct RuleContext {
+    const Config& config;
+    std::vector<Finding>& findings;
+};
+
+void emit(RuleContext& ctx, const SourceFile& file, std::size_t line_idx, Rule rule,
+          std::string message) {
+    ctx.findings.push_back(
+        {file.rel, static_cast<int>(line_idx + 1), rule, std::move(message)});
+}
+
+// ---- rule 1: determinism ------------------------------------------------
+
+void rule_determinism_rng(RuleContext& ctx, const SourceFile& file) {
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+        const std::string& line = file.code[i];
+        if (!ident_occurrences(line, "random_device").empty())
+            emit(ctx, file, i, Rule::DeterminismRng,
+                 "std::random_device is nondeterministic; seed pv::Rng via mix_seed instead");
+        for (const char* fn : {"rand", "srand"}) {
+            for (const std::size_t pos : ident_occurrences(line, fn)) {
+                if (next_nonspace(line, pos + std::string_view(fn).size()) != '(') continue;
+                if (is_member_access(line, pos)) continue;  // e.g. obj.rand()
+                const char before = prev_nonspace(line, pos);
+                if (before == ':' && !is_std_qualified(line, pos)) continue;  // Foo::rand()
+                emit(ctx, file, i, Rule::DeterminismRng,
+                     std::string(fn) +
+                         "() draws from hidden global state; every random draw must come "
+                         "from a seeded pv::Rng so runs replay bit-exactly");
+            }
+        }
+    }
+}
+
+void rule_determinism_clock(RuleContext& ctx, const SourceFile& file) {
+    for (const std::string& allowed : ctx.config.clock_allowlist)
+        if (file.rel == allowed) return;
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+        for (const char* clock : {"system_clock", "steady_clock", "high_resolution_clock",
+                                  "clock_gettime", "gettimeofday"}) {
+            if (!ident_occurrences(file.code[i], clock).empty())
+                emit(ctx, file, i, Rule::DeterminismClock,
+                     std::string(clock) +
+                         " reads wall/host time; simulated time comes from the event queue "
+                         "(Machine::now), and bench timing belongs in bench_common.hpp's "
+                         "sanctioned Stopwatch");
+        }
+    }
+}
+
+void rule_determinism_unordered(RuleContext& ctx, const SourceFile& file) {
+    const bool fingerprint_path =
+        starts_with(file.rel, "src/sim/") || starts_with(file.rel, "src/plugvolt/") ||
+        starts_with(file.rel, "src/campaign/") || starts_with(file.rel, "src/trace/");
+    if (!fingerprint_path) return;
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+        for (const char* name : {"unordered_map", "unordered_set", "unordered_multimap",
+                                 "unordered_multiset"}) {
+            if (!ident_occurrences(file.code[i], name).empty())
+                emit(ctx, file, i, Rule::DeterminismUnordered,
+                     std::string("std::") + name +
+                         " iterates in hash order, which is ABI/seed dependent — in a "
+                         "fingerprint-bearing subsystem use pv::FlatMap (canonical sorted "
+                         "iteration) or std::map");
+        }
+    }
+}
+
+// ---- rule 3: MSR safety -------------------------------------------------
+
+// Builtin register numbers guarded even before the registry header is
+// parsed; run() extends this with every value found in os/msr_regs.hpp.
+constexpr std::uint64_t kBuiltinMsrValues[] = {0x150, 0x198, 0x199, 0x19C, 0x1A2, 0x1F0};
+
+void rule_msr_constant(RuleContext& ctx, const SourceFile& file,
+                       const std::set<std::uint64_t>& msr_values) {
+    if (!starts_with(file.rel, "src/")) return;
+    if (file.rel == "src/os/msr_regs.hpp") return;  // the one sanctioned home
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+        const std::string& line = file.code[i];
+        for (std::size_t pos = 0; pos + 2 < line.size() + 1; ++pos) {
+            if (line[pos] != '0' || pos + 1 >= line.size() ||
+                (line[pos + 1] != 'x' && line[pos + 1] != 'X'))
+                continue;
+            if (pos > 0 && is_ident_char(line[pos - 1])) continue;
+            std::size_t end = pos + 2;
+            while (end < line.size() && std::isxdigit(static_cast<unsigned char>(line[end])))
+                ++end;
+            if (end == pos + 2 || (end < line.size() && is_ident_char(line[end]))) {
+                pos = end - 1;
+                continue;
+            }
+            const std::uint64_t value = std::stoull(line.substr(pos + 2, end - pos - 2),
+                                                    nullptr, 16);
+            if (msr_values.count(value) != 0) {
+                char buf[16];
+                std::snprintf(buf, sizeof buf, "0x%llX",
+                              static_cast<unsigned long long>(value));
+                emit(ctx, file, i, Rule::MsrConstant,
+                     std::string("raw MSR register number ") + buf +
+                         ": name it through the central registry src/os/msr_regs.hpp so "
+                         "every MSR the tree touches is enumerable in one place");
+            }
+            pos = end - 1;
+        }
+    }
+}
+
+void rule_msr_raw_access(RuleContext& ctx, const SourceFile& file) {
+    if (!starts_with(file.rel, "src/")) return;
+    if (starts_with(file.rel, "src/sim/") || starts_with(file.rel, "src/os/")) return;
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+        const std::string& line = file.code[i];
+        for (const char* fn : {"write_msr", "read_msr"}) {
+            for (const std::size_t pos : ident_occurrences(line, fn)) {
+                if (!is_member_access(line, pos)) continue;
+                emit(ctx, file, i, Rule::MsrRawAccess,
+                     std::string(".") + fn +
+                         "() is machine-level MSR access that bypasses the audited "
+                         "MsrDriver (no observer, no fault injection, no cycle "
+                         "accounting); go through Kernel::msr() try_* instead");
+            }
+        }
+    }
+}
+
+// ---- rule 4: concurrency annotations -----------------------------------
+
+void rule_concurrency_primitive(RuleContext& ctx, const SourceFile& file) {
+    if (!starts_with(file.rel, "src/")) return;
+    constexpr const char* kPrimitives[] = {
+        "mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
+        "condition_variable", "condition_variable_any", "lock_guard",
+        "unique_lock", "scoped_lock", "shared_lock",
+    };
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+        const std::string& line = file.code[i];
+        for (const char* name : kPrimitives) {
+            for (const std::size_t pos : ident_occurrences(line, name)) {
+                if (!is_std_qualified(line, pos)) continue;
+                emit(ctx, file, i, Rule::ConcurrencyPrimitive,
+                     std::string("std::") + name +
+                         " is invisible to the thread-safety analysis; use the annotated "
+                         "pv::Mutex / pv::MutexLock / pv::CondVar (util/mutex.hpp)");
+            }
+        }
+    }
+}
+
+void rule_concurrency_guard(RuleContext& ctx, const SourceFile& file) {
+    if (!starts_with(file.rel, "src/")) return;
+    if (file.rel == "src/util/mutex.hpp" || file.rel == "src/util/thread_annotations.hpp")
+        return;  // the wrapper and the macro definitions themselves
+    static const std::regex decl(
+        R"(^\s*(?:mutable\s+)?(?:::)?(?:pv::)?Mutex\s+[A-Za-z_]\w*\s*;)");
+    bool has_guarded_by = false;
+    for (const std::string& line : file.code)
+        if (line.find("PV_GUARDED_BY") != std::string::npos) has_guarded_by = true;
+    if (has_guarded_by) return;
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+        if (std::regex_search(file.code[i], decl))
+            emit(ctx, file, i, Rule::ConcurrencyGuard,
+                 "this Mutex guards no PV_GUARDED_BY field, so the thread-safety "
+                 "analysis cannot connect any data to it; annotate what it protects "
+                 "(or waive with the reason it guards external state)");
+    }
+}
+
+// ---- rule 5: error paths ------------------------------------------------
+
+void rule_error_path_throw(RuleContext& ctx, const SourceFile& file) {
+    const bool in_scope = starts_with(file.rel, "src/resilience/") ||
+                          starts_with(file.rel, "src/plugvolt/polling_module");
+    if (!in_scope) return;
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+        const std::string& line = file.code[i];
+        for (const char* fn : {"rdmsr", "wrmsr", "ioctl_rdmsr", "ioctl_wrmsr"}) {
+            for (const std::size_t pos : ident_occurrences(line, fn)) {
+                if (!is_member_access(line, pos)) continue;
+                emit(ctx, file, i, Rule::ErrorPathThrow,
+                     std::string(".") + fn +
+                         "() is the throwing legacy driver API; on the resilience/"
+                         "degradation paths environment faults are domain values — use "
+                         "try_" + (starts_with(fn, "ioctl_") ? std::string(fn).substr(6)
+                                                             : std::string(fn)) +
+                         "() and branch on MsrStatus");
+            }
+        }
+    }
+}
+
+// ---- driver -------------------------------------------------------------
+
+bool scannable_extension(const std::filesystem::path& path) {
+    const std::string ext = path.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" || ext == ".hh" ||
+           ext == ".ipp";
+}
+
+/// Every `= 0x...;` value in the registry header joins the guarded set.
+std::set<std::uint64_t> msr_registry_values(const std::map<std::string, SourceFile>& files) {
+    std::set<std::uint64_t> values(std::begin(kBuiltinMsrValues), std::end(kBuiltinMsrValues));
+    const auto it = files.find("src/os/msr_regs.hpp");
+    if (it == files.end()) return values;
+    static const std::regex assign(R"(=\s*0[xX]([0-9A-Fa-f]+)\s*;)");
+    for (const std::string& line : it->second.code) {
+        std::smatch m;
+        if (std::regex_search(line, m, assign))
+            values.insert(std::stoull(m[1].str(), nullptr, 16));
+    }
+    return values;
+}
+
+}  // namespace
+
+Report run(const Config& config) {
+    namespace fs = std::filesystem;
+    Report report;
+
+    std::map<std::string, SourceFile> files;
+    for (const std::string& dir : config.scan_dirs) {
+        const fs::path base = config.root / dir;
+        if (!fs::exists(base)) continue;
+        for (const auto& entry : fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file() || !scannable_extension(entry.path())) continue;
+            std::string rel = fs::relative(entry.path(), config.root).generic_string();
+            const bool excluded =
+                std::any_of(config.excludes.begin(), config.excludes.end(),
+                            [&](const std::string& prefix) {
+                                return rel.size() >= prefix.size() &&
+                                       rel.compare(0, prefix.size(), prefix) == 0;
+                            });
+            if (excluded) continue;
+            SourceFile file = load_source(entry.path(), rel);
+            files.emplace(std::move(rel), std::move(file));
+        }
+    }
+    report.files_scanned = static_cast<int>(files.size());
+
+    const std::set<std::uint64_t> msr_values = msr_registry_values(files);
+    RuleContext ctx{config, report.findings};
+    for (const auto& [rel, file] : files) {
+        rule_determinism_rng(ctx, file);
+        rule_determinism_clock(ctx, file);
+        rule_determinism_unordered(ctx, file);
+        rule_msr_constant(ctx, file, msr_values);
+        rule_msr_raw_access(ctx, file);
+        rule_concurrency_primitive(ctx, file);
+        rule_concurrency_guard(ctx, file);
+        rule_error_path_throw(ctx, file);
+        for (const Finding& f : file.waiver_findings) report.findings.push_back(f);
+    }
+    detail::check_layering(files, report.findings);
+
+    // Inline waivers: a well-formed waiver targeting the finding's line
+    // and naming its rule suppresses it.
+    for (Finding& f : report.findings) {
+        if (f.rule == Rule::Waiver) continue;
+        const auto it = files.find(f.file);
+        if (it == files.end()) continue;
+        const auto w = it->second.waivers.find(f.line);
+        if (w != it->second.waivers.end() && w->second.has_reason &&
+            w->second.rules.count(f.rule) != 0)
+            f.waived = true;
+    }
+
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.file != b.file) return a.file < b.file;
+                  if (a.line != b.line) return a.line < b.line;
+                  return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+              });
+    return report;
+}
+
+}  // namespace pvlint
