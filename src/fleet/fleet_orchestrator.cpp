@@ -1,0 +1,246 @@
+#include "fleet/fleet_orchestrator.hpp"
+
+#include <cmath>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/state_hasher.hpp"
+#include "util/error.hpp"
+#include "util/mutex.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pv::fleet {
+
+/// Lock-guarded per-row boundary aggregate the warm starts draw from.
+/// Finished units fold their row boundaries in (as offset STEPS, the
+/// bisection's coordinate); later units' rows start from the running
+/// mean of their lot neighbours.  Folds and reads race benignly across
+/// unit tasks: WHICH hints a unit sees depends on completion order, but
+/// hints only shrink probe counts (parallel_characterizer.hpp), so every
+/// downstream result stays order-independent.
+class FleetOrchestrator::Aggregate {
+public:
+    Aggregate(std::size_t rows, double step_mv, double sentinel_mv)
+        : step_mv_(step_mv), sentinel_mv_(sentinel_mv), rows_(rows) {}
+
+    /// Fold one completed row (local index) into the running means.
+    /// Sentinel crash values (column never crashed) and fault-free rows
+    /// contribute nothing — a hint must point at a real boundary.
+    void fold(const resilience::RowRecord& rec) {
+        MutexLock lock(mutex_);
+        RowSum& sum = rows_[rec.row_index];
+        if (rec.crash_mv != sentinel_mv_) {
+            sum.crash_steps += to_step(rec.crash_mv);
+            ++sum.crash_units;
+        }
+        if (!rec.fault_free && rec.onset_mv != 0.0) {
+            sum.onset_steps += to_step(rec.onset_mv);
+            ++sum.onset_units;
+        }
+    }
+
+    [[nodiscard]] std::optional<plugvolt::RowWarmStart> hint(std::size_t row) {
+        MutexLock lock(mutex_);
+        const RowSum& sum = rows_[row];
+        plugvolt::RowWarmStart h;
+        if (sum.crash_units != 0)
+            h.crash_step = (sum.crash_steps + sum.crash_units / 2) / sum.crash_units;
+        if (sum.onset_units != 0)
+            h.onset_step = (sum.onset_steps + sum.onset_units / 2) / sum.onset_units;
+        if (h.crash_step == 0 && h.onset_step == 0) return std::nullopt;
+        ++hints_served_;
+        return h;
+    }
+
+    [[nodiscard]] std::uint64_t hints_served() {
+        MutexLock lock(mutex_);
+        return hints_served_;
+    }
+
+private:
+    struct RowSum {
+        std::uint64_t crash_steps = 0;
+        std::uint64_t crash_units = 0;
+        std::uint64_t onset_steps = 0;
+        std::uint64_t onset_units = 0;
+    };
+
+    [[nodiscard]] std::uint64_t to_step(double offset_mv) const {
+        return static_cast<std::uint64_t>(std::llround(-offset_mv / step_mv_));
+    }
+
+    double step_mv_;
+    double sentinel_mv_;
+    Mutex mutex_;
+    std::vector<RowSum> rows_ PV_GUARDED_BY(mutex_);
+    std::uint64_t hints_served_ PV_GUARDED_BY(mutex_) = 0;
+};
+
+FleetOrchestrator::FleetOrchestrator(SiliconLot lot, FleetConfig config)
+    : lot_(std::move(lot)), config_(std::move(config)) {
+    if (config_.units == 0) throw ConfigError("a fleet needs at least one unit");
+    if (config_.sweep.run_inline)
+        throw ConfigError("the fleet orchestrator owns run_inline; leave it unset");
+    if (config_.sweep.warm_start)
+        throw ConfigError("the fleet orchestrator owns warm_start; leave it unset");
+    if (config_.workers == 0) config_.workers = ThreadPool::default_worker_count();
+    stride_ = lot_.base().frequency_table().size();
+    if (stride_ == 0) throw ConfigError("the lot's frequency table is empty");
+    // Validate the per-unit protocol (and unit 0's jittered profile)
+    // eagerly so misconfiguration surfaces here, not on a pool thread.
+    (void)plugvolt::ParallelCharacterizer(lot_.unit_profile(0), unit_sweep_config(0));
+}
+
+plugvolt::ParallelCharacterizerConfig FleetOrchestrator::unit_sweep_config(
+    std::uint64_t unit_id) const {
+    plugvolt::ParallelCharacterizerConfig cfg = config_.sweep;
+    cfg.seed = mix_seed(config_.sweep.seed, unit_id);
+    return cfg;
+}
+
+std::uint64_t FleetOrchestrator::config_hash() const {
+    check::StateHasher h;
+    h.mix(lot_.config_hash());
+    h.mix(config_.units);
+    // The per-unit protocol fingerprint, taken through unit 0's sweep:
+    // covers the cell protocol, mode, refine window, fault plan, and the
+    // unit-seed derivation (warm_start and worker counts excluded by the
+    // row engine's own contract).
+    const plugvolt::ParallelCharacterizer probe(lot_.unit_profile(0),
+                                               unit_sweep_config(0));
+    h.mix(probe.config_hash());
+    return h.digest();
+}
+
+resilience::JournalHeader FleetOrchestrator::journal_header() const {
+    resilience::JournalHeader header;
+    header.config_hash = config_hash();
+    header.seed = config_.sweep.seed;
+    header.sweep_floor_mv = config_.sweep.cell.sweep_floor.value();
+    header.system_name = lot_.base().name + " fleet";
+    return header;
+}
+
+plugvolt::SafeStateMap FleetOrchestrator::characterize_unit(std::uint64_t unit_id) const {
+    plugvolt::ParallelCharacterizer sweeper(lot_.unit_profile(unit_id),
+                                            unit_sweep_config(unit_id));
+    return sweeper.characterize();
+}
+
+PopulationEnvelope FleetOrchestrator::characterize(const UnitProgress& progress) {
+    return run_fleet(nullptr, progress);
+}
+
+PopulationEnvelope FleetOrchestrator::characterize(resilience::SweepJournal& journal,
+                                                   const UnitProgress& progress) {
+    return run_fleet(&journal, progress);
+}
+
+PopulationEnvelope FleetOrchestrator::resume(resilience::SweepJournal& journal,
+                                             const UnitProgress& progress) {
+    return run_fleet(&journal, progress);
+}
+
+PopulationEnvelope FleetOrchestrator::run_fleet(resilience::SweepJournal* journal,
+                                                const UnitProgress& progress) {
+    stats_ = {};
+    const std::uint64_t units = config_.units;
+    const double step_mv = config_.sweep.cell.offset_step.value();
+    const double sentinel_mv =
+        (config_.sweep.cell.sweep_floor - config_.sweep.cell.offset_step).value();
+
+    // Journaled rows, re-framed from the global unit*stride + row index
+    // to each unit's local row index (characterize_with validates them
+    // against the frequency table from there).
+    std::vector<std::vector<resilience::RowRecord>> adopted(units);
+    std::uint64_t journal_bytes_base = 0;
+    if (journal != nullptr) {
+        if (journal->header().config_hash != config_hash())
+            throw ConfigError(
+                "journal config_hash does not match this fleet's configuration");
+        journal_bytes_base = journal->bytes_written();
+        for (const resilience::RowRecord& rec : journal->rows()) {
+            const std::uint64_t unit = rec.row_index / stride_;
+            if (unit >= units)
+                throw JournalError("journal row " + std::to_string(rec.row_index) +
+                                   " is beyond this fleet's " + std::to_string(units) +
+                                   " units");
+            resilience::RowRecord local = rec;
+            local.row_index = rec.row_index % stride_;
+            adopted[unit].push_back(local);
+        }
+    }
+
+    Aggregate aggregate(stride_, step_mv, sentinel_mv);
+    plugvolt::WarmStartFn hint_fn;
+    if (config_.warm_start) {
+        // Adopted rows are finished results: seed the hint pool with
+        // them before any unit starts.
+        for (const std::vector<resilience::RowRecord>& unit_rows : adopted)
+            for (const resilience::RowRecord& rec : unit_rows) aggregate.fold(rec);
+        hint_fn = [&aggregate](std::size_t row) { return aggregate.hint(row); };
+    }
+
+    struct UnitOutcome {
+        plugvolt::SafeStateMap map;
+        std::vector<resilience::RowRecord> fresh;
+        plugvolt::SweepStats sweep;
+    };
+
+    // One task per unit; each runs its row loop inline on the pool
+    // thread that picked it up (run_inline — no nested pools).  The
+    // futures stay positional (index == unit id); collection walks units
+    // in id order, which is the delivery, journaling, and progress order.
+    ThreadPool pool(config_.workers);
+    std::vector<std::future<UnitOutcome>> futures(units);
+    for (std::uint64_t u = 0; u < units; ++u) {
+        futures[u] = pool.submit([this, u, &adopted, &aggregate, &hint_fn] {
+            plugvolt::ParallelCharacterizerConfig cfg = unit_sweep_config(u);
+            cfg.run_inline = true;
+            cfg.workers = 1;
+            cfg.warm_start = hint_fn;
+            plugvolt::ParallelCharacterizer sweeper(lot_.unit_profile(u), cfg);
+            std::vector<resilience::RowRecord> fresh;
+            plugvolt::SafeStateMap map = sweeper.characterize_with(
+                adopted[u],
+                [&fresh](const resilience::RowRecord& rec) { fresh.push_back(rec); });
+            if (config_.warm_start)
+                for (const resilience::RowRecord& rec : fresh) aggregate.fold(rec);
+            return UnitOutcome{std::move(map), std::move(fresh), sweeper.stats()};
+        });
+    }
+
+    PopulationEnvelope envelope(config_.envelope);
+    for (std::uint64_t u = 0; u < units; ++u) {
+        UnitOutcome outcome = futures[u].get();  // rethrows task exceptions
+        ++stats_.units;
+        if (outcome.fresh.empty() && !adopted[u].empty()) ++stats_.units_resumed;
+        stats_.rows_resumed += outcome.sweep.rows_resumed;
+        stats_.cells_evaluated += outcome.sweep.cells_evaluated;
+        stats_.crash_probes += outcome.sweep.crash_probes;
+        stats_.msr_retries += outcome.sweep.msr_retries;
+        stats_.env_faults += outcome.sweep.env_faults;
+        if (journal != nullptr) {
+            // Commit the unit's fresh rows (re-framed to global indices)
+            // BEFORE the progress callback: a kill at any unit boundary
+            // leaves every delivered unit durable, which is what makes
+            // kill + resume == uninterrupted at fleet granularity.
+            for (resilience::RowRecord rec : outcome.fresh) {
+                rec.row_index = u * stride_ + rec.row_index;
+                journal->commit(rec);
+                ++stats_.journal_commits;
+            }
+        }
+        envelope.add(u, outcome.map);
+        if (progress) progress(u, outcome.map);
+    }
+    stats_.warm_rows = aggregate.hints_served();
+    if (journal != nullptr)
+        stats_.journal_bytes = journal->bytes_written() - journal_bytes_base;
+    return envelope;
+}
+
+}  // namespace pv::fleet

@@ -1,0 +1,89 @@
+#include "fleet/silicon_lot.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "check/state_hasher.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pv::fleet {
+namespace {
+
+/// Salt separating the jitter stream from every other mix_seed consumer
+/// of the same lot seed (sweep rows, cells, boot seeds).
+constexpr std::uint64_t kJitterTag = 0x51'71C0;
+
+/// Gaussian deviate with sigma = tolerance/3, hard-clamped to the
+/// tolerance: ~99.7% of draws land inside on their own, the clamp makes
+/// the bound unconditional (the property tests assert it exactly).
+double bounded_deviate(Rng& rng, double tolerance) {
+    if (tolerance <= 0.0) return 0.0;
+    const double d = rng.gaussian(0.0, tolerance / 3.0);
+    if (d > tolerance) return tolerance;
+    if (d < -tolerance) return -tolerance;
+    return d;
+}
+
+}  // namespace
+
+void LotConfig::validate() const {
+    const double tolerances[] = {alpha_tolerance, vth_tolerance_mv, path_tolerance,
+                                 crash_path_tolerance};
+    for (const double t : tolerances)
+        if (!(t >= 0.0) || !std::isfinite(t))
+            throw ConfigError("lot tolerances must be finite and non-negative");
+}
+
+SiliconLot::SiliconLot(sim::CpuProfile base, LotConfig config)
+    : base_(std::move(base)), config_(config) {
+    config_.validate();
+}
+
+UnitJitter SiliconLot::jitter(std::uint64_t unit_id) const {
+    // A private generator per unit, seeded from (lot_seed, unit_id) only:
+    // no shared stream, hence no order sensitivity.  Draw order within
+    // the unit is fixed by this function body.
+    Rng rng(mix_seed(mix_seed(config_.lot_seed, kJitterTag), unit_id));
+    UnitJitter j;
+    j.alpha_scale = 1.0 + bounded_deviate(rng, config_.alpha_tolerance);
+    j.vth_delta_mv = bounded_deviate(rng, config_.vth_tolerance_mv);
+    j.path_scale = 1.0 + bounded_deviate(rng, config_.path_tolerance);
+    j.crash_path_scale = 1.0 + bounded_deviate(rng, config_.crash_path_tolerance);
+    return j;
+}
+
+sim::CpuProfile SiliconLot::unit_profile(std::uint64_t unit_id) const {
+    const UnitJitter j = jitter(unit_id);
+    sim::CpuProfile p = base_;
+    p.name += "#u" + std::to_string(unit_id);
+    p.timing.alpha *= j.alpha_scale;
+    p.timing.threshold_voltage = p.timing.threshold_voltage + Millivolts{j.vth_delta_mv};
+    p.timing.path_constant_ps *= j.path_scale;
+    p.timing.crash_path_factor *= j.crash_path_scale;
+    return p;
+}
+
+std::uint64_t SiliconLot::config_hash() const {
+    check::StateHasher h;
+    h.mix(std::string_view(base_.name));
+    h.mix(base_.freq_min.value());
+    h.mix(base_.freq_max.value());
+    h.mix(base_.freq_step.value());
+    h.mix(base_.timing.threshold_voltage.value());
+    h.mix(base_.timing.alpha);
+    h.mix(base_.timing.path_constant_ps);
+    h.mix(base_.timing.setup_time_ps);
+    h.mix(base_.timing.clock_uncertainty_ps);
+    h.mix(base_.timing.sigma_fraction);
+    h.mix(base_.timing.crash_path_factor);
+    h.mix(config_.lot_seed);
+    h.mix(config_.alpha_tolerance);
+    h.mix(config_.vth_tolerance_mv);
+    h.mix(config_.path_tolerance);
+    h.mix(config_.crash_path_tolerance);
+    return h.digest();
+}
+
+}  // namespace pv::fleet

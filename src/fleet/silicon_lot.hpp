@@ -1,0 +1,85 @@
+// PlugVolt — per-die silicon variation sampler.
+//
+// The paper characterizes three physical parts; a vendor shipping the
+// maximal-safe-state clamp faces millions of units whose fault
+// boundaries drift with per-die process variation.  SiliconLot models
+// one manufacturing lot: a base CpuProfile plus per-unit jitter on the
+// alpha-power-law and crash-threshold parameters, derived purely from
+// (lot_seed, unit_id).  The jitter is a parameter OVERLAY — unit_profile
+// returns an ordinary sim::CpuProfile with adjusted TimingParams, so the
+// whole simulator/characterizer stack runs unmodified on a jittered die.
+//
+// Determinism contract: jitter(unit_id) seeds a private Rng with
+// mix_seed(mix_seed(lot_seed, tag), unit_id) — unit N's parameters are
+// identical whether sampled alone, first, or mid-fleet, in any order,
+// from any thread.  That is what lets the fleet orchestrator shard by
+// unit and still promise per-unit maps bit-identical to solo runs.
+//
+// Tolerance contract: each deviate is Gaussian with sigma = tolerance/3,
+// hard-clamped to ±tolerance, so every unit in the lot stays within the
+// configured envelope (the property tests pin this down) and — with the
+// default tolerances — boots crash-free at nominal voltage, which
+// sim::Machine validates at construction.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cpu_profile.hpp"
+
+namespace pv::fleet {
+
+/// Lot identity and manufacturing spread.  Tolerances bound the per-unit
+/// deviation: relative scales for alpha / path constants, absolute mV
+/// for the threshold voltage.  Defaults are conservative enough that
+/// every sampled unit of the three paper profiles boots nominally safe.
+struct LotConfig {
+    std::uint64_t lot_seed = 0xD1E'F1EE7;
+    double alpha_tolerance = 0.01;        ///< relative, velocity-saturation exponent
+    double vth_tolerance_mv = 4.0;        ///< absolute mV, threshold voltage
+    double path_tolerance = 0.01;         ///< relative, critical-path constant
+    double crash_path_tolerance = 0.005;  ///< relative, crash-path factor
+
+    /// Throws ConfigError on negative / non-finite tolerances.
+    void validate() const;
+};
+
+/// One die's deviation from the lot's base profile, as applied by
+/// unit_profile(): scales multiply, the vth delta adds.
+struct UnitJitter {
+    double alpha_scale = 1.0;
+    double vth_delta_mv = 0.0;
+    double path_scale = 1.0;
+    double crash_path_scale = 1.0;
+};
+
+/// A manufacturing lot of one CPU generation.
+class SiliconLot {
+public:
+    /// Throws ConfigError on invalid tolerances.
+    SiliconLot(sim::CpuProfile base, LotConfig config);
+
+    /// Pure function of (lot config, unit_id): the unit's parameter
+    /// deviation.  Thread-safe, order-independent.
+    [[nodiscard]] UnitJitter jitter(std::uint64_t unit_id) const;
+
+    /// The base profile with unit `unit_id`'s jitter applied to its
+    /// TimingParams and "#u<id>" appended to its name (so per-unit maps
+    /// and sweep fingerprints are distinguishable).  The frequency table
+    /// is NOT jittered — all units of a lot share it, which is what lets
+    /// the fleet journal frame rows as unit*stride + row.
+    [[nodiscard]] sim::CpuProfile unit_profile(std::uint64_t unit_id) const;
+
+    /// Fingerprint of everything that determines every unit's profile:
+    /// the base profile's identity, frequency range, timing constants,
+    /// and the full LotConfig.
+    [[nodiscard]] std::uint64_t config_hash() const;
+
+    [[nodiscard]] const sim::CpuProfile& base() const { return base_; }
+    [[nodiscard]] const LotConfig& config() const { return config_; }
+
+private:
+    sim::CpuProfile base_;
+    LotConfig config_;
+};
+
+}  // namespace pv::fleet

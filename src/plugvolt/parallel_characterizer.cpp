@@ -123,7 +123,10 @@ private:
 ParallelCharacterizer::ParallelCharacterizer(sim::CpuProfile profile,
                                              ParallelCharacterizerConfig config)
     : profile_(std::move(profile)), config_(std::move(config)) {
-    if (config_.workers == 0) config_.workers = ThreadPool::default_worker_count();
+    if (config_.workers == 0)
+        config_.workers = config_.run_inline ? 1 : ThreadPool::default_worker_count();
+    if (config_.run_inline && config_.workers != 1)
+        throw ConfigError("run_inline sweeps are serial; workers must be 1");
     if (config_.refine_window == 0)
         throw ConfigError("refine_window must cover at least one step");
     if (config_.fault_plan) config_.fault_plan->validate();
@@ -135,7 +138,7 @@ ParallelCharacterizer::ParallelCharacterizer(sim::CpuProfile profile,
 }
 
 ParallelCharacterizer::RowOutcome ParallelCharacterizer::characterize_row(
-    Worker& worker, Megahertz f, std::uint64_t row_seed) const {
+    Worker& worker, std::size_t row_index, Megahertz f, std::uint64_t row_seed) const {
     worker.begin_row(f, row_seed);
     const Characterizer& chr = worker.characterizer();
     const std::uint64_t steps = chr.sweep_steps();
@@ -167,39 +170,115 @@ ParallelCharacterizer::RowOutcome ParallelCharacterizer::characterize_row(
     }
 
     // --- Bisection mode -------------------------------------------------
+    // Warm-start hints (lot-neighbour boundaries) narrow the searches
+    // without changing their answers; see the soundness notes inline.
+    std::optional<RowWarmStart> hint;
+    if (config_.warm_start) hint = config_.warm_start(row_index);
+
     // Crash boundary first: crashed(s) is a deterministic monotone
     // predicate (would_crash is a timing threshold), and step 0 (nominal
     // voltage) is crash-free by Machine's construction-time validation.
+    // The cold search brackets with [0, steps]; a hinted search gallops
+    // outward from the hint until it brackets the boundary (or reaches
+    // the sweep edge, where it degenerates into the cold verdict).  Both
+    // establish the same invariant — !crashed(lo) && crashed(hi) — and
+    // the predicate is deterministic, so bisection converges to the SAME
+    // boundary step regardless of how the bracket was found.
     std::uint64_t s_crash = steps + 1;  // "no crash inside the sweep"
-    if (steps >= 1 && worker.probe(steps).crashed) {
-        std::uint64_t lo = 0, hi = steps;
-        while (hi - lo > 1) {
-            const std::uint64_t mid = lo + (hi - lo) / 2;
-            (worker.probe(mid).crashed ? hi : lo) = mid;
+    if (steps >= 1) {
+        std::uint64_t lo = 0, hi = 0;
+        bool bracketed = false, no_crash = false;
+        const std::uint64_t crash_hint =
+            hint != std::nullopt && hint->crash_step >= 1
+                ? (hint->crash_step < steps ? hint->crash_step : steps)
+                : 0;
+        if (crash_hint != 0) {
+            if (worker.probe(crash_hint).crashed) {
+                hi = crash_hint;
+                std::uint64_t stride = 1;
+                while (hi > 1) {
+                    const std::uint64_t cand = hi > stride ? hi - stride : 1;
+                    if (!worker.probe(cand).crashed) {
+                        lo = cand;
+                        break;
+                    }
+                    hi = cand;
+                    stride *= 2;
+                }
+                bracketed = true;  // hi==1 leaves lo==0: nominal is crash-free
+            } else {
+                lo = crash_hint;
+                std::uint64_t stride = 1;
+                while (lo < steps) {
+                    const std::uint64_t cand =
+                        lo + stride < steps ? lo + stride : steps;
+                    if (worker.probe(cand).crashed) {
+                        hi = cand;
+                        bracketed = true;
+                        break;
+                    }
+                    lo = cand;
+                    stride *= 2;
+                }
+                // Galloped to the sweep edge without a crash: the deepest
+                // cell survived, which is exactly the cold no-crash test.
+                no_crash = !bracketed;
+            }
+        } else if (worker.probe(steps).crashed) {
+            lo = 0;
+            hi = steps;
+            bracketed = true;
+        } else {
+            no_crash = true;
         }
-        s_crash = hi;
+        if (bracketed && !no_crash) {
+            while (hi - lo > 1) {
+                const std::uint64_t mid = lo + (hi - lo) / 2;
+                (worker.probe(mid).crashed ? hi : lo) = mid;
+            }
+            s_crash = hi;
+        }
     }
 
     // Fault onset inside the surviving range [1, s_crash - 1].  The
     // deepest surviving cell is the most fault-prone; if even it shows
     // no faults the whole column is fault-free (the band, if any, is
-    // narrower than one step and hides under the crash cell).
+    // narrower than one step and hides under the crash cell).  A warm
+    // start keeps that gate probe — it decides fault-free columns, so
+    // skipping it could diverge from the cold verdict — and replaces
+    // only the bisection that locates a faulting cell to refine from.
     std::uint64_t s_onset = 0;  // 0 = no faulting cell found
     const std::uint64_t limit = (s_crash <= steps ? s_crash - 1 : steps);
     if (limit >= 1 && worker.probe(limit).faults > 0) {
-        std::uint64_t lo = 0, hi = limit;
-        while (hi - lo > 1) {
-            const std::uint64_t mid = lo + (hi - lo) / 2;
-            (worker.probe(mid).faults > 0 ? hi : lo) = mid;
+        const std::uint64_t onset_hint =
+            hint != std::nullopt && hint->onset_step >= 1
+                ? (hint->onset_step < limit ? hint->onset_step : limit)
+                : 0;
+        std::uint64_t start;
+        if (onset_hint != 0 && worker.probe(onset_hint).faults > 0) {
+            // The neighbours' onset cell faults here too: refine from it
+            // directly, skipping the bisection entirely.
+            start = onset_hint;
+        } else {
+            // No usable hint (or the hint cell came up clean — this die's
+            // band sits deeper): bisect down to a faulting cell.  A clean
+            // hint cell still helps as the bisection's lower bound.
+            std::uint64_t lo = onset_hint, hi = limit;
+            while (hi - lo > 1) {
+                const std::uint64_t mid = lo + (hi - lo) / 2;
+                (worker.probe(mid).faults > 0 ? hi : lo) = mid;
+            }
+            start = hi;
         }
-        s_onset = hi;
         // Refinement: fault observation is stochastic cell-by-cell, so
-        // the crossing bisection found may not be the *shallowest*
+        // the faulting cell found above may not be the *shallowest*
         // faulting cell.  Scan up to refine_window shallower cells; each
         // hit restarts the window below it.  An exhaustive scan would
         // report the shallowest faulting cell — with the window covering
-        // the observability band, so do we.
-        std::uint64_t s = s_onset;
+        // the observability band, so do we, from ANY faulting start:
+        // inside the band no two faulting cells are more than a window
+        // apart, so every walk descends the same chain to its bottom.
+        std::uint64_t s = start;
         while (s > 1) {
             const std::uint64_t stop = s > config_.refine_window ? s - config_.refine_window : 1;
             std::uint64_t found = 0;
@@ -284,11 +363,26 @@ SafeStateMap ParallelCharacterizer::resume(
     return run_sweep(&journal, progress);
 }
 
+SafeStateMap ParallelCharacterizer::characterize_with(
+    const std::vector<resilience::RowRecord>& adopted,
+    const std::function<void(const resilience::RowRecord&)>& commit,
+    const std::function<void(const FreqCharacterization&)>& progress) {
+    const std::vector<Megahertz> table = profile_.frequency_table();
+    FlatMap<std::uint64_t, resilience::RowRecord> done;
+    for (const resilience::RowRecord& rec : adopted) {
+        if (rec.row_index >= table.size() ||
+            rec.freq_mhz != table[rec.row_index].value())
+            throw JournalError("adopted row " + std::to_string(rec.row_index) +
+                               " does not match the frequency table");
+        done.emplace(rec.row_index, rec);
+    }
+    return run_rows(done, commit, progress);
+}
+
 SafeStateMap ParallelCharacterizer::run_sweep(
     resilience::SweepJournal* journal,
     const std::function<void(const FreqCharacterization&)>& progress) {
     const std::vector<Megahertz> table = profile_.frequency_table();
-    stats_ = {};
 
     // Rows already durable in the journal are adopted, not re-probed.
     // FlatMap, not unordered_map: this path feeds the replay fingerprint,
@@ -309,6 +403,22 @@ SafeStateMap ParallelCharacterizer::run_sweep(
         }
     }
 
+    std::function<void(const resilience::RowRecord&)> commit;
+    if (journal != nullptr)
+        commit = [journal](const resilience::RowRecord& rec) { journal->commit(rec); };
+    SafeStateMap map = run_rows(done, commit, progress);
+    if (journal != nullptr)
+        stats_.journal_bytes = journal->bytes_written() - journal_bytes_base;
+    return map;
+}
+
+SafeStateMap ParallelCharacterizer::run_rows(
+    const FlatMap<std::uint64_t, resilience::RowRecord>& done,
+    const std::function<void(const resilience::RowRecord&)>& commit,
+    const std::function<void(const FreqCharacterization&)>& progress) {
+    const std::vector<Megahertz> table = profile_.frequency_table();
+    stats_ = {};
+
     // One simulator per worker thread, all from the same profile; the
     // boot seed is irrelevant to results (every probe re-seeds) but kept
     // distinct for hygiene.  Declared before the pool so that on any
@@ -319,26 +429,33 @@ SafeStateMap ParallelCharacterizer::run_sweep(
         workers.push_back(std::make_unique<Worker>(profile_, config_.cell,
                                                    mix_seed(config_.seed, 1'000'000 + w),
                                                    config_.fault_plan));
-    ThreadPool pool(config_.workers);
 
-    // Futures stay positional (index == row); adopted rows leave theirs
-    // invalid.  Collection below walks rows in frequency order.
+    // run_inline: no pool — each fresh row is computed lazily on the
+    // calling thread right where the pooled path would block on its
+    // future.  Same rows, same seeds, same delivery order.
+    std::optional<ThreadPool> pool;
     std::vector<std::future<RowOutcome>> futures(table.size());
-    for (std::size_t i = 0; i < table.size(); ++i) {
-        if (done.contains(i)) continue;
-        const Megahertz f = table[i];
-        const std::uint64_t row_seed = mix_seed(config_.seed, i);
-        futures[i] = pool.submit([this, &workers, f, row_seed] {
-            // The workers vector is shared across threads but strictly
-            // partitioned by worker index: each pool thread only ever
-            // touches its own Worker, so no lock is needed — the index
-            // bound is the invariant that partitioning rests on.
-            const int w = ThreadPool::current_worker_index();
-            PV_ASSERT(w >= 0 && static_cast<std::size_t>(w) < workers.size(),
-                      "row task ran outside the pool: worker index " << w << " of "
-                                                                     << workers.size());
-            return characterize_row(*workers[static_cast<std::size_t>(w)], f, row_seed);
-        });
+    if (!config_.run_inline) {
+        pool.emplace(config_.workers);
+        // Futures stay positional (index == row); adopted rows leave
+        // theirs invalid.  Collection below walks rows in frequency order.
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            if (done.contains(i)) continue;
+            const Megahertz f = table[i];
+            const std::uint64_t row_seed = mix_seed(config_.seed, i);
+            futures[i] = pool->submit([this, &workers, i, f, row_seed] {
+                // The workers vector is shared across threads but strictly
+                // partitioned by worker index: each pool thread only ever
+                // touches its own Worker, so no lock is needed — the index
+                // bound is the invariant that partitioning rests on.
+                const int w = ThreadPool::current_worker_index();
+                PV_ASSERT(w >= 0 && static_cast<std::size_t>(w) < workers.size(),
+                          "row task ran outside the pool: worker index " << w << " of "
+                                                                         << workers.size());
+                return characterize_row(*workers[static_cast<std::size_t>(w)], i, f,
+                                        row_seed);
+            });
+        }
     }
 
     SafeStateMap map(profile_.name, config_.cell.sweep_floor);
@@ -357,15 +474,18 @@ SafeStateMap ParallelCharacterizer::run_sweep(
             if (progress) progress(row);
             continue;
         }
-        RowOutcome outcome = futures[i].get();  // rethrows worker exceptions
+        RowOutcome outcome =
+            config_.run_inline
+                ? characterize_row(*workers[0], i, table[i], mix_seed(config_.seed, i))
+                : futures[i].get();  // rethrows worker exceptions
         stats_.cells_evaluated += outcome.cells;
         stats_.crash_probes += outcome.crashes;
         stats_.msr_retries += outcome.retries;
-        if (journal != nullptr) {
+        if (commit) {
             // Commit BEFORE the progress callback: if the process dies
             // anywhere past this point the row is already durable, which
             // is what makes kill-at-any-point + resume == uninterrupted.
-            journal->commit(resilience::RowRecord{
+            commit(resilience::RowRecord{
                 .row_index = i,
                 .freq_mhz = outcome.row.freq.value(),
                 .onset_mv = outcome.row.onset.value(),
@@ -380,8 +500,6 @@ SafeStateMap ParallelCharacterizer::run_sweep(
         if (progress) progress(outcome.row);
     }
     for (const auto& worker : workers) stats_.env_faults += worker->env_faults();
-    if (journal != nullptr)
-        stats_.journal_bytes = journal->bytes_written() - journal_bytes_base;
     return map;
 }
 

@@ -49,6 +49,7 @@
 #include "resilience/fault_injection.hpp"
 #include "resilience/journal.hpp"
 #include "sim/cpu_profile.hpp"
+#include "util/flat_map.hpp"
 
 namespace pv::plugvolt {
 
@@ -59,6 +60,25 @@ enum class SweepMode {
 };
 
 [[nodiscard]] const char* to_string(SweepMode mode);
+
+/// Warm-start hint for one frequency row of a Bisection sweep: the
+/// boundary steps a lot-neighbour (an already-characterized unit of the
+/// same silicon lot) reported for this row.  0 means "no hint" for that
+/// boundary.  Hints NEVER change sweep results — the crash boundary is a
+/// deterministic monotone predicate, so any bracketing search finds the
+/// same cell, and the onset refinement walk lands on the same shallowest
+/// faulting cell from any faulting start (see DESIGN §5h for the
+/// soundness argument) — they only shrink the probe count, which is why
+/// they are excluded from config_hash().
+struct RowWarmStart {
+    std::uint64_t crash_step = 0;  ///< neighbours' crash boundary (1-based step)
+    std::uint64_t onset_step = 0;  ///< neighbours' fault-onset step (1-based)
+};
+
+/// Per-row hint source consulted at the start of each Bisection row;
+/// return std::nullopt (or zero steps) to fall back to the cold search.
+/// Called on the worker thread that characterizes the row.
+using WarmStartFn = std::function<std::optional<RowWarmStart>(std::size_t row_index)>;
 
 struct ParallelCharacterizerConfig {
     /// Per-cell protocol (offset step, floor, ops per cell, cores, ...).
@@ -77,6 +97,17 @@ struct ParallelCharacterizerConfig {
     /// accesses fault is a pure function of (plan, cell) — independent
     /// of worker count and probe order, like the cells themselves.
     std::optional<resilience::FaultPlan> fault_plan;
+    /// Run rows serially on the CALLING thread instead of a ThreadPool
+    /// (requires workers == 1).  For drivers that already shard at a
+    /// coarser axis — the fleet orchestrator shards by *unit* and runs
+    /// each unit's row loop inline on its own pool thread — so per-unit
+    /// sweeps do not nest a pool inside a pool.  Results are identical
+    /// either way (every cell is seeded independently).
+    bool run_inline = false;
+    /// Optional warm-start hint source for Bisection rows (ignored in
+    /// Exhaustive mode).  Affects probe cost only, never results, and is
+    /// therefore excluded from config_hash().
+    WarmStartFn warm_start;
 };
 
 /// Aggregate cost counters of one sweep (the quantities the bench
@@ -121,6 +152,20 @@ public:
         resilience::SweepJournal& journal,
         const std::function<void(const FreqCharacterization&)>& progress = {});
 
+    /// Durability-agnostic sweep: rows in `adopted` (keyed by row_index
+    /// into this sweep's frequency table) are taken verbatim instead of
+    /// re-probed, and every freshly computed row is handed to `commit`
+    /// BEFORE the progress callback — the same write-ahead contract as
+    /// the journaled characterize(), with the durable medium abstracted
+    /// away.  This is the fleet orchestrator's entry point: it frames
+    /// many units' rows into one shared journal, so per-unit sweeps
+    /// deliver rows through this sink instead of owning a journal each.
+    /// Throws JournalError when an adopted row does not match the table.
+    [[nodiscard]] SafeStateMap characterize_with(
+        const std::vector<resilience::RowRecord>& adopted,
+        const std::function<void(const resilience::RowRecord&)>& commit,
+        const std::function<void(const FreqCharacterization&)>& progress = {});
+
     /// Fingerprint of everything that determines sweep RESULTS (profile,
     /// frequency table, cell protocol, seed, mode, refine window, fault
     /// plan — NOT worker count).  A journal is only resumable into a
@@ -145,11 +190,19 @@ private:
     };
     class Worker;
 
-    [[nodiscard]] RowOutcome characterize_row(Worker& worker, Megahertz f,
-                                              std::uint64_t row_seed) const;
+    [[nodiscard]] RowOutcome characterize_row(Worker& worker, std::size_t row_index,
+                                              Megahertz f, std::uint64_t row_seed) const;
 
     [[nodiscard]] SafeStateMap run_sweep(
         resilience::SweepJournal* journal,
+        const std::function<void(const FreqCharacterization&)>& progress);
+
+    /// Shared sweep core: `done` rows are adopted, fresh rows flow
+    /// through `commit` (may be empty) before `progress`.  Dispatches to
+    /// the inline-serial or the pooled execution strategy.
+    [[nodiscard]] SafeStateMap run_rows(
+        const FlatMap<std::uint64_t, resilience::RowRecord>& done,
+        const std::function<void(const resilience::RowRecord&)>& commit,
         const std::function<void(const FreqCharacterization&)>& progress);
 
     sim::CpuProfile profile_;

@@ -1,0 +1,131 @@
+// Golden-file regression for fleet-scale population envelopes.
+//
+// Each (lot config, fleet size) pair has a committed 64-bit
+// state_hash(PopulationEnvelope) fingerprint under tests/golden/.  The
+// test re-characterizes the fleet warm AND cold (warm starts disabled)
+// and asserts both reproduce the committed fingerprint — a drift in the
+// silicon-variation sampler, the warm-start search, the envelope
+// aggregation, or the per-cell physics all surface here as a golden
+// mismatch instead of as silent movement in the population clamps.
+//
+// Regoldening (after an INTENDED change): `PV_REGOLDEN=1 ctest -R Golden`
+// rewrites the files from the current cold fleet; commit the diff
+// alongside the change that explains it.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet_orchestrator.hpp"
+#include "fleet/silicon_lot.hpp"
+#include "sim/cpu_profile.hpp"
+
+#ifndef PV_GOLDEN_DIR
+#error "PV_GOLDEN_DIR must point at tests/golden (set in tests/CMakeLists.txt)"
+#endif
+
+namespace pv::fleet {
+namespace {
+
+struct GoldenCase {
+    const char* slug;  ///< file stem under tests/golden/
+    sim::CpuProfile (*profile)();
+    LotConfig lot;
+    std::uint64_t units;
+};
+
+LotConfig wide_lot() {
+    LotConfig lot;
+    lot.lot_seed = 0x10AF'0F57;
+    lot.alpha_tolerance = 0.015;
+    lot.vth_tolerance_mv = 6.0;
+    lot.path_tolerance = 0.012;
+    lot.crash_path_tolerance = 0.006;
+    return lot;
+}
+
+const std::vector<GoldenCase>& golden_cases() {
+    static const std::vector<GoldenCase> cases = {
+        {"fleet_cometlake_12u", sim::cometlake_i7_10510u, LotConfig{}, 12},
+        {"fleet_cometlake_24u", sim::cometlake_i7_10510u, LotConfig{}, 24},
+        {"fleet_skylake_wide_12u", sim::skylake_i5_6500, wide_lot(), 12},
+        {"fleet_skylake_wide_24u", sim::skylake_i5_6500, wide_lot(), 24},
+    };
+    return cases;
+}
+
+std::string golden_path(const GoldenCase& c) {
+    return std::string(PV_GOLDEN_DIR) + "/" + c.slug + ".golden";
+}
+
+bool regolden_requested() {
+    const char* env = std::getenv("PV_REGOLDEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Reads the committed fingerprint; '#' lines are comments.
+std::optional<std::uint64_t> read_golden(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        return std::strtoull(line.c_str(), nullptr, 0);
+    }
+    return std::nullopt;
+}
+
+void write_golden(const GoldenCase& c, std::uint64_t hash) {
+    std::ofstream out(golden_path(c));
+    ASSERT_TRUE(out) << "cannot write " << golden_path(c);
+    char line[64];
+    std::snprintf(line, sizeof line, "0x%016" PRIx64 "\n", hash);
+    out << "# state_hash(PopulationEnvelope) for " << c.slug
+        << " (warm == cold fleet).\n"
+        << "# Regolden after intended physics changes: PV_REGOLDEN=1 ctest -R Golden\n"
+        << line;
+}
+
+std::uint64_t fleet_hash(const GoldenCase& c, bool warm) {
+    // The pinned fleet protocol (5 mV steps, 2-step refine window, MAD
+    // floor at the step size) — the same one the differential suite and
+    // bench_fleet run.
+    FleetConfig cfg;
+    cfg.units = c.units;
+    cfg.sweep.cell.offset_step = Millivolts{5.0};
+    cfg.sweep.mode = plugvolt::SweepMode::Bisection;
+    cfg.sweep.refine_window = 2;
+    cfg.workers = 2;
+    cfg.warm_start = warm;
+    cfg.envelope.mad_floor_mv = 5.0;
+    FleetOrchestrator fleet(SiliconLot(c.profile(), c.lot), cfg);
+    return state_hash(fleet.characterize());
+}
+
+TEST(FleetGolden, WarmAndColdFleetsReproduceCommittedFingerprints) {
+    for (const GoldenCase& c : golden_cases()) {
+        const std::uint64_t cold = fleet_hash(c, /*warm=*/false);
+        const std::uint64_t warm = fleet_hash(c, /*warm=*/true);
+        EXPECT_EQ(cold, warm) << c.slug << ": warm fleet diverged from the cold reference";
+
+        if (regolden_requested()) {
+            write_golden(c, cold);
+            continue;
+        }
+        const auto committed = read_golden(golden_path(c));
+        ASSERT_TRUE(committed.has_value())
+            << "missing golden file " << golden_path(c)
+            << " — generate with: PV_REGOLDEN=1 ctest -R Golden";
+        EXPECT_EQ(cold, *committed)
+            << c.slug << ": fleet envelope drifted from the committed golden; if the "
+            << "change is intended, regolden with PV_REGOLDEN=1 ctest -R Golden";
+    }
+}
+
+}  // namespace
+}  // namespace pv::fleet
