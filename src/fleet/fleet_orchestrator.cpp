@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "check/state_hasher.hpp"
+#include "infer/adaptive_planner.hpp"
 #include "util/error.hpp"
 #include "util/mutex.hpp"
 #include "util/rng.hpp"
@@ -87,6 +88,14 @@ FleetOrchestrator::FleetOrchestrator(SiliconLot lot, FleetConfig config)
     if (config_.sweep.warm_start)
         throw ConfigError("the fleet orchestrator owns warm_start; leave it unset");
     if (config_.workers == 0) config_.workers = ThreadPool::default_worker_count();
+    // Adaptive per-unit sweeps default to the infer planner; the same
+    // Aggregate that fuels bisection gallops then warm-starts each
+    // unit's boundary POSTERIOR from lot-neighbour onset/crash means
+    // (hints shape priors only, so per-unit maps stay bit-identical to
+    // cold solo adaptive runs — the adaptive fleet differential's
+    // contract).  A caller-supplied planner is kept as-is.
+    if (config_.sweep.mode == plugvolt::SweepMode::Adaptive && !config_.sweep.planner)
+        config_.sweep.planner = infer::adaptive_planner();
     stride_ = lot_.base().frequency_table().size();
     if (stride_ == 0) throw ConfigError("the lot's frequency table is empty");
     // Validate the per-unit protocol (and unit 0's jittered profile)

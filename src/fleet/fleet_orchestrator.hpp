@@ -42,6 +42,10 @@ struct FleetConfig {
     /// Per-unit sweep protocol template.  `run_inline` and `warm_start`
     /// must be left at their defaults (the orchestrator owns both); the
     /// per-unit sweep seed is derived as mix_seed(sweep.seed, unit_id).
+    /// With mode == SweepMode::Adaptive and no planner set, the
+    /// orchestrator attaches the src/infer planner and the lot-neighbour
+    /// aggregate warm-starts each unit's boundary posterior instead of
+    /// fueling bisection gallops.
     plugvolt::ParallelCharacterizerConfig sweep{};
     /// Fleet pool width (units in flight); 0 means
     /// ThreadPool::default_worker_count().  Results are independent of

@@ -1,0 +1,54 @@
+#include "infer/acquisition.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "check/assert.hpp"
+
+namespace pv::infer {
+
+namespace {
+
+[[nodiscard]] double binary_entropy(double p) {
+    if (p <= 0.0 || p >= 1.0) return 0.0;
+    return -(p * std::log(p) + (1.0 - p) * std::log(1.0 - p));
+}
+
+}  // namespace
+
+double crash_probe_score(const BoundaryPosterior& posterior, std::uint64_t s,
+                         double reboot_cost) {
+    const double p = posterior.p_leq(s);
+    return binary_entropy(p) / (1.0 + reboot_cost * p);
+}
+
+std::uint64_t select_crash_probe(const BoundaryPosterior& posterior,
+                                 const AcquisitionConfig& config,
+                                 std::uint64_t max_step, Rng& rng) {
+    PV_ASSERT(!posterior.certified(), "acquisition asked for a probe of a certified boundary");
+    const std::uint64_t lo = posterior.hard_lo();
+    const std::uint64_t hi =
+        posterior.hard_hi() - 1 < max_step ? posterior.hard_hi() - 1 : max_step;
+    PV_ASSERT(lo <= hi, "no informative probe in bracket [" << lo << ", "
+                                                            << posterior.hard_hi() << "]");
+    // One pass for the argmax, collecting the tie plateau as it moves.
+    constexpr double kTieTolerance = 1e-12;
+    double best = -1.0;
+    std::vector<std::uint64_t> plateau;
+    for (std::uint64_t s = lo; s <= hi; ++s) {
+        const double score = crash_probe_score(posterior, s, config.reboot_cost);
+        if (score > best + kTieTolerance) {
+            best = score;
+            plateau.clear();
+            plateau.push_back(s);
+        } else if (score >= best - kTieTolerance) {
+            plateau.push_back(s);
+        }
+    }
+    // Seeded deterministic sampling across the plateau; a singleton
+    // plateau (the generic case) still burns one draw so the stream
+    // position is independent of score-landscape accidents.
+    return plateau[rng.uniform_below(plateau.size())];
+}
+
+}  // namespace pv::infer

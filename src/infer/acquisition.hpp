@@ -1,0 +1,55 @@
+// infer — cost-aware acquisition for adaptive boundary probing.
+//
+// Each candidate probe step s is scored by the expected information gain
+// of its outcome divided by its expected cost.  For the crash boundary
+// the outcome is a deterministic Bernoulli split of the posterior —
+// crashed(s) <=> boundary <= s — so the expected posterior-entropy drop
+// of probing s is exactly the binary entropy H2(p) of p = P(b <= s);
+// with a uniform posterior the argmax is the median and the acquisition
+// degenerates to bisection, which is the sanity anchor for the whole
+// scheme.  The reboot term models the real-hardware asymmetry the paper
+// leans on: a crashed probe costs a reboot, a surviving probe does not,
+// so the expected cost of probing s is 1 + reboot_cost * p and the
+// optimizer drifts shallow of the median exactly when reboots are
+// expensive.
+//
+// Ties (plateaus of the score function) are resolved by seeded sampling
+// from the caller's Rng — deterministic for a fixed sweep seed, which
+// the acquisition-determinism PROP test asserts probe-for-probe.
+#pragma once
+
+#include <cstdint>
+
+#include "infer/boundary_posterior.hpp"
+#include "util/rng.hpp"
+
+namespace pv::infer {
+
+struct AcquisitionConfig {
+    /// Relative cost of a crash-reboot on top of the probe itself (the
+    /// paper's motivation for probe-thrifty characterization).  0 makes
+    /// the acquisition pure information gain.
+    double reboot_cost = 4.0;
+    /// Decay depth (in steps) of the noisy-threshold clean-cell
+    /// likelihood for the fault-onset channel.
+    double onset_tau = 1.25;
+    /// Geometric concentration of warm-start / interpolation priors.
+    double prior_decay = 0.45;
+    /// Floor mass every still-possible step keeps under any prior, so a
+    /// wrong hint costs probes, never correctness.
+    double prior_floor = 1e-9;
+};
+
+/// Expected-information-gain-per-cost score of probing step `s` for a
+/// crash boundary: H2(P(b <= s)) / (1 + reboot_cost * P(b <= s)).
+[[nodiscard]] double crash_probe_score(const BoundaryPosterior& posterior,
+                                       std::uint64_t s, double reboot_cost);
+
+/// The next crash probe: argmax of crash_probe_score over the
+/// informative candidates [hard_lo, min(hard_hi - 1, max_step)].
+/// Requires an uncertified posterior with hard_lo <= max_step.
+[[nodiscard]] std::uint64_t select_crash_probe(const BoundaryPosterior& posterior,
+                                               const AcquisitionConfig& config,
+                                               std::uint64_t max_step, Rng& rng);
+
+}  // namespace pv::infer

@@ -1,0 +1,277 @@
+#include "infer/adaptive_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "check/assert.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pv::infer {
+namespace {
+
+/// Salt for the planner's own RNG stream (acquisition tie-breaks); each
+/// row forks its own child stream so the draws a row consumes are
+/// independent of how many probes earlier rows needed — including the
+/// zero probes an adopted (resumed) anchor needs.
+constexpr std::uint64_t kPlannerSeedTag = 0xADA'B0DE;
+
+using plugvolt::AdaptiveContext;
+using plugvolt::CellProbeFn;
+using plugvolt::CellResult;
+using plugvolt::PlannedRow;
+
+/// Effective step encodings for interpolation: both boundaries live on
+/// {1 .. steps + 1} with "outside the sweep" mapped to steps + 1, and an
+/// unset onset mapped to the crash step (the engine emits onset == crash
+/// for such rows) — monotone non-increasing along the row axis, which is
+/// what the interpolation certificate rests on.
+[[nodiscard]] std::uint64_t eff_crash(const PlannedRow& row) { return row.crash_step; }
+
+[[nodiscard]] std::uint64_t eff_onset(const PlannedRow& row, std::uint64_t steps) {
+    if (row.onset_step != 0) return row.onset_step;
+    return row.crash_step <= steps ? row.crash_step : steps + 1;
+}
+
+[[nodiscard]] std::uint64_t gap(std::uint64_t a, std::uint64_t b) {
+    return a > b ? a - b : b - a;
+}
+
+/// Interpolated value for row r between anchors (lo, va) and (hi, vb)
+/// with gap(va, vb) <= 2.  For a gap of exactly 2 every intermediate row
+/// takes the middle value: any monotone truth between the anchors is
+/// then within 1 step, which a rounded linear blend does NOT guarantee
+/// near the endpoints.  Smaller gaps interpolate linearly (clamped), and
+/// the certificate is immediate.
+[[nodiscard]] std::uint64_t interpolate(std::uint64_t va, std::uint64_t vb,
+                                        std::size_t lo, std::size_t hi, std::size_t r) {
+    const std::uint64_t vmin = std::min(va, vb);
+    const std::uint64_t vmax = std::max(va, vb);
+    if (vmax - vmin == 2) return vmin + 1;
+    const double t = static_cast<double>(r - lo) / static_cast<double>(hi - lo);
+    const auto blended = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(va) + (static_cast<double>(vb) - static_cast<double>(va)) * t));
+    return std::clamp(blended, vmin, vmax);
+}
+
+/// One plan invocation's worth of state.
+class Planner {
+public:
+    Planner(const AdaptiveContext& ctx, const CellProbeFn& probe,
+            const AcquisitionConfig& acq)
+        : ctx_(ctx), probe_(probe), acq_(acq), rows_(ctx.rows) {}
+
+    [[nodiscard]] std::vector<PlannedRow> run() {
+        PV_ASSERT(ctx_.rows > 0 && ctx_.steps >= 1,
+                  "adaptive planning needs rows and at least one offset step");
+        PV_ASSERT(ctx_.adopted.size() == ctx_.rows,
+                  "adopted-row vector does not match the table");
+        anchor(0);
+        if (ctx_.rows > 1) {
+            anchor(ctx_.rows - 1);
+            refine(0, ctx_.rows - 1);
+        }
+        std::vector<PlannedRow> out(ctx_.rows);
+        for (std::size_t r = 0; r < ctx_.rows; ++r) {
+            PV_ASSERT(rows_[r].has_value(), "planner left row " << r << " unplanned");
+            out[r] = *rows_[r];
+        }
+        return out;
+    }
+
+private:
+    /// Certify row r as an anchor: adopt a resumed anchor's values, or
+    /// solve both boundaries by direct probing.
+    void anchor(std::size_t r) {
+        if (rows_[r].has_value() && rows_[r]->anchored) return;
+        if (ctx_.adopted[r].has_value() && ctx_.adopted[r]->anchored) {
+            rows_[r] = *ctx_.adopted[r];
+            return;
+        }
+        rows_[r] = solve(r);
+    }
+
+    [[nodiscard]] PlannedRow solve(std::size_t r) {
+        const std::uint64_t steps = ctx_.steps;
+        Rng rng(mix_seed(mix_seed(ctx_.seed, kPlannerSeedTag), r));
+        std::optional<plugvolt::RowWarmStart> hint;
+        if (ctx_.warm_start) hint = ctx_.warm_start(r);
+
+        // --- crash boundary: EIG-per-cost loop to a 0-cell bracket ----
+        BoundaryPosterior crash(steps + 1);
+        const std::uint64_t crash_hint =
+            hint.has_value() && hint->crash_step >= 1
+                ? std::min(hint->crash_step, steps + 1)
+                : 0;
+        if (crash_hint != 0) {
+            crash.recenter(crash_hint, acq_.prior_decay, acq_.prior_floor);
+        } else if (const auto pred = predict(r, Axis::Crash)) {
+            crash.recenter(*pred, acq_.prior_decay, acq_.prior_floor);
+        }
+        while (!crash.certified()) {
+            const std::uint64_t s = select_crash_probe(crash, acq_, steps, rng);
+            const CellResult cell = probe_(r, s);
+            if (cell.crashed) {
+                crash.restrict_leq(s);
+            } else {
+                crash.restrict_geq(s + 1);
+            }
+            note_update(r, crash);
+        }
+        const std::uint64_t crash_step = crash.hard_lo();
+
+        // --- fault onset: guided descent + the certification walk -----
+        // The gate probe at the deepest surviving cell decides fault-free
+        // columns exactly like the bisection mode (and is usually free:
+        // the crash bracket already probed that cell).  From a faulting
+        // gate, posterior-guided jumps try to land near the predicted
+        // onset, then the refine-window walk — verbatim the bisection's
+        // — certifies the shallowest faulting cell; from ANY faulting
+        // start the walk descends to the same bottom (DESIGN §5h), so
+        // priors move probes, never the verdict.
+        std::uint64_t onset_step = 0;
+        const std::uint64_t limit = crash_step <= steps ? crash_step - 1 : steps;
+        if (limit >= 1 && probe_(r, limit).faults > 0) {
+            BoundaryPosterior onset(limit);
+            const std::uint64_t onset_hint =
+                hint.has_value() && hint->onset_step >= 1
+                    ? std::min(hint->onset_step, limit)
+                    : 0;
+            if (onset_hint != 0) {
+                onset.recenter(onset_hint, acq_.prior_decay, acq_.prior_floor);
+            } else if (const auto pred = predict(r, Axis::Onset)) {
+                onset.recenter(std::min(*pred, limit), acq_.prior_decay, acq_.prior_floor);
+            }
+            std::uint64_t s = limit;
+            for (int jumps = 0; jumps < 2 && s > 1; ++jumps) {
+                const std::uint64_t cand = onset.map_estimate();
+                if (cand >= s || s - cand <= ctx_.refine_window) break;
+                const CellResult cell = probe_(r, cand);
+                if (cell.faults > 0) {
+                    s = cand;
+                    onset.restrict_leq(cand);
+                    note_update(r, onset);
+                } else {
+                    onset.observe_clean_noisy(cand, acq_.onset_tau);
+                    note_update(r, onset);
+                    break;
+                }
+            }
+            while (s > 1) {
+                const std::uint64_t stop =
+                    s > ctx_.refine_window ? s - ctx_.refine_window : 1;
+                std::uint64_t found = 0;
+                for (std::uint64_t t = s - 1; t >= stop; --t) {
+                    const CellResult cell = probe_(r, t);
+                    if (cell.faults > 0) {
+                        found = t;
+                        onset.restrict_leq(t);
+                        break;
+                    }
+                    onset.observe_clean_noisy(t, acq_.onset_tau);
+                    if (t == stop) break;
+                }
+                note_update(r, onset);
+                if (found == 0) break;
+                s = found;
+            }
+            onset_step = s;
+        }
+        return PlannedRow{crash_step, onset_step, /*anchored=*/true};
+    }
+
+    /// Recursive row-axis subdivision: compatible anchor pairs enclose
+    /// their span at zero probes, incompatible pairs anchor the midpoint.
+    /// Depends only on row indices and certified anchor VALUES — the
+    /// resume bit-identity contract.
+    void refine(std::size_t lo, std::size_t hi) {
+        if (hi - lo <= 1) return;
+        const PlannedRow a = *rows_[lo];
+        const PlannedRow b = *rows_[hi];
+        const std::uint64_t steps = ctx_.steps;
+        if (gap(eff_crash(a), eff_crash(b)) <= 2 &&
+            gap(eff_onset(a, steps), eff_onset(b, steps)) <= 2) {
+            for (std::size_t r = lo + 1; r < hi; ++r) {
+                const std::uint64_t c =
+                    interpolate(eff_crash(a), eff_crash(b), lo, hi, r);
+                std::uint64_t o =
+                    interpolate(eff_onset(a, steps), eff_onset(b, steps), lo, hi, r);
+                if (o > c) o = c;
+                PlannedRow row;
+                row.crash_step = c;
+                row.onset_step = o >= steps + 1 ? 0 : o;
+                row.anchored = false;
+                rows_[r] = row;
+            }
+            return;
+        }
+        const std::size_t mid = lo + (hi - lo) / 2;
+        anchor(mid);
+        refine(lo, mid);
+        refine(mid, hi);
+    }
+
+    enum class Axis { Crash, Onset };
+
+    /// Boundary prediction for row r from its nearest certified anchors
+    /// (linear in the row index) — the cold-start prior between anchors.
+    [[nodiscard]] std::optional<std::uint64_t> predict(std::size_t r, Axis axis) const {
+        const auto value = [this, axis](std::size_t i) {
+            return axis == Axis::Crash ? eff_crash(*rows_[i])
+                                       : eff_onset(*rows_[i], ctx_.steps);
+        };
+        std::optional<std::size_t> below;
+        for (std::size_t i = r; i-- > 0;) {
+            if (rows_[i].has_value() && rows_[i]->anchored) {
+                below = i;
+                break;
+            }
+        }
+        std::optional<std::size_t> above;
+        for (std::size_t i = r + 1; i < ctx_.rows; ++i) {
+            if (rows_[i].has_value() && rows_[i]->anchored) {
+                above = i;
+                break;
+            }
+        }
+        if (below.has_value() && above.has_value())
+            return interpolate(value(*below), value(*above), *below, *above, r);
+        if (below.has_value()) return value(*below);
+        if (above.has_value()) return value(*above);
+        return std::nullopt;
+    }
+
+    void note_update(std::size_t row, const BoundaryPosterior& posterior) {
+        ++updates_;
+        // Stamped with the update ordinal (the planner runs outside any
+        // machine clock); b packs the certified bracket.
+        PV_TRACE_EVENT(trace::EventKind::PosteriorUpdate, "boundary-posterior",
+                       static_cast<std::int64_t>(updates_), row,
+                       (posterior.hard_hi() << 20) | posterior.hard_lo());
+    }
+
+    const AdaptiveContext& ctx_;
+    const CellProbeFn& probe_;
+    const AcquisitionConfig& acq_;
+    std::vector<std::optional<PlannedRow>> rows_;
+    std::uint64_t updates_ = 0;
+};
+
+}  // namespace
+
+plugvolt::AdaptivePlannerFn adaptive_planner(AcquisitionConfig config) {
+    if (config.reboot_cost < 0.0)
+        throw ConfigError("reboot_cost must be non-negative");
+    if (config.onset_tau <= 0.0) throw ConfigError("onset_tau must be positive");
+    if (config.prior_decay <= 0.0 || config.prior_decay >= 1.0)
+        throw ConfigError("prior_decay must lie in (0, 1)");
+    if (config.prior_floor <= 0.0) throw ConfigError("prior_floor must be positive");
+    return [config](const AdaptiveContext& ctx, const CellProbeFn& probe) {
+        return Planner(ctx, probe, config).run();
+    };
+}
+
+}  // namespace pv::infer

@@ -1,0 +1,109 @@
+#include "infer/boundary_posterior.hpp"
+
+#include <cmath>
+
+#include "check/assert.hpp"
+#include "util/error.hpp"
+
+namespace pv::infer {
+
+BoundaryPosterior::BoundaryPosterior(std::uint64_t support_max)
+    : hard_lo_(1), hard_hi_(support_max) {
+    if (support_max == 0)
+        throw ConfigError("a boundary posterior needs a non-empty support");
+    w_.assign(support_max, 1.0 / static_cast<double>(support_max));
+}
+
+void BoundaryPosterior::recenter(std::uint64_t center, double decay, double floor) {
+    if (decay <= 0.0 || decay >= 1.0)
+        throw ConfigError("prior decay must lie in (0, 1)");
+    if (floor <= 0.0) throw ConfigError("prior floor must be positive");
+    for (std::uint64_t b = hard_lo_; b <= hard_hi_; ++b) {
+        const double dist =
+            b > center ? static_cast<double>(b - center) : static_cast<double>(center - b);
+        w_[b - 1] = floor + std::pow(decay, dist);
+    }
+    renormalize();
+}
+
+void BoundaryPosterior::restrict_leq(std::uint64_t s) {
+    if (s >= hard_hi_) return;
+    PV_ASSERT(s >= hard_lo_, "contradictory hard evidence: boundary <= "
+                                 << s << " but bracket is [" << hard_lo_ << ", "
+                                 << hard_hi_ << "]");
+    for (std::uint64_t b = s + 1; b <= hard_hi_; ++b) w_[b - 1] = 0.0;
+    hard_hi_ = s;
+    renormalize();
+}
+
+void BoundaryPosterior::restrict_geq(std::uint64_t s) {
+    if (s <= hard_lo_) return;
+    PV_ASSERT(s <= hard_hi_, "contradictory hard evidence: boundary >= "
+                                 << s << " but bracket is [" << hard_lo_ << ", "
+                                 << hard_hi_ << "]");
+    for (std::uint64_t b = hard_lo_; b < s; ++b) w_[b - 1] = 0.0;
+    hard_lo_ = s;
+    renormalize();
+}
+
+void BoundaryPosterior::observe_clean_noisy(std::uint64_t s, double tau) {
+    if (tau <= 0.0) throw ConfigError("noisy-threshold tau must be positive");
+    for (std::uint64_t b = hard_lo_; b <= hard_hi_ && b <= s; ++b)
+        w_[b - 1] *= std::exp(-static_cast<double>(s - b + 1) / tau);
+    renormalize();
+}
+
+double BoundaryPosterior::p_leq(std::uint64_t s) const {
+    if (s < hard_lo_) return 0.0;
+    if (s >= hard_hi_) return 1.0;
+    double p = 0.0;
+    for (std::uint64_t b = hard_lo_; b <= s; ++b) p += w_[b - 1];
+    return p;
+}
+
+double BoundaryPosterior::entropy() const {
+    double h = 0.0;
+    for (std::uint64_t b = hard_lo_; b <= hard_hi_; ++b) {
+        const double p = w_[b - 1];
+        if (p > 0.0) h -= p * std::log(p);
+    }
+    return h;
+}
+
+std::uint64_t BoundaryPosterior::map_estimate() const {
+    std::uint64_t best = hard_lo_;
+    for (std::uint64_t b = hard_lo_; b <= hard_hi_; ++b)
+        if (w_[b - 1] > w_[best - 1]) best = b;
+    return best;
+}
+
+std::uint64_t BoundaryPosterior::sample(Rng& rng) const {
+    const double u = rng.uniform();
+    double acc = 0.0;
+    for (std::uint64_t b = hard_lo_; b <= hard_hi_; ++b) {
+        acc += w_[b - 1];
+        if (u < acc) return b;
+    }
+    return hard_hi_;  // u landed in the rounding tail
+}
+
+double BoundaryPosterior::weight_sum() const {
+    double total = 0.0;
+    for (std::uint64_t b = hard_lo_; b <= hard_hi_; ++b) total += w_[b - 1];
+    return total;
+}
+
+void BoundaryPosterior::renormalize() {
+    const double total = weight_sum();
+    if (total > 0.0) {
+        for (std::uint64_t b = hard_lo_; b <= hard_hi_; ++b) w_[b - 1] /= total;
+        return;
+    }
+    // Soft evidence underflowed every surviving weight: fall back to
+    // uniform over the still-possible bracket.  Hard exclusions are
+    // bracket moves, so this cannot resurrect excluded steps.
+    const double uniform = 1.0 / static_cast<double>(hard_hi_ - hard_lo_ + 1);
+    for (std::uint64_t b = hard_lo_; b <= hard_hi_; ++b) w_[b - 1] = uniform;
+}
+
+}  // namespace pv::infer

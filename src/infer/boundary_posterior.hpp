@@ -1,0 +1,97 @@
+// infer — discrete posterior over one boundary step of a frequency row.
+//
+// The adaptive sweep models each boundary (crash, fault onset) of each
+// frequency column as an unknown 1-based offset step b in {1 .. n}, with
+// n = sweep_steps() + 1 so the "boundary outside the sweep" verdict
+// (no-crash / fault-free column) is a first-class support point.  Two
+// observation channels update it:
+//
+//   - hard restrictions, from deterministic evidence: a crashed cell at
+//     step s proves b <= s, a surviving cell proves b >= s + 1 (the
+//     crash predicate is a deterministic monotone threshold — the same
+//     physics the bisection mode exploits).  These zero out support
+//     permanently and can only SHRINK the certified bracket
+//     [hard_lo, hard_hi]; the PROP tests pin that monotonicity.
+//
+//   - noisy-threshold likelihoods, for the stochastic fault-onset
+//     channel: a cell observed CLEAN at step s may still sit below the
+//     true onset (fault observation is a per-cell Bernoulli draw), so it
+//     only down-weights "b <= s" geometrically in the depth below s —
+//     the discrete analogue of a logistic observation model.  Soft
+//     evidence never zeroes support and never moves the certified
+//     bracket.
+//
+// Determinism: weights are plain doubles updated in call order; there is
+// no clock and no entropy source anywhere — sampling (used by the
+// acquisition tie-break) draws from the caller's seeded util::Rng.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pv::infer {
+
+class BoundaryPosterior {
+public:
+    /// Uniform prior over support {1 .. support_max}.  Throws ConfigError
+    /// when the support is empty.
+    explicit BoundaryPosterior(std::uint64_t support_max);
+
+    /// Re-shape the (soft) prior around `center`: weight
+    /// floor + decay^|b - center| per step, renormalized.  Used for
+    /// lot-neighbour warm starts and anchor-interpolation predictions;
+    /// the floor keeps every still-possible step reachable, so a wrong
+    /// prior costs probes, never correctness.  Hard-excluded steps stay
+    /// excluded.
+    void recenter(std::uint64_t center, double decay, double floor);
+
+    /// Hard evidence: the boundary is at or above step... precisely,
+    /// b <= s (e.g. step s crashed / faulted).  No-op beyond the current
+    /// bracket; tightens hard_hi otherwise.
+    void restrict_leq(std::uint64_t s);
+
+    /// Hard evidence: b >= s (e.g. step s - 1 survived clean).
+    void restrict_geq(std::uint64_t s);
+
+    /// Noisy-threshold evidence: step s ran the full cell protocol and
+    /// observed zero faults.  Scales w[b] by exp(-(s - b + 1) / tau) for
+    /// b <= s (the deeper below s the onset would be, the less likely a
+    /// clean read), leaves b > s untouched.
+    void observe_clean_noisy(std::uint64_t s, double tau);
+
+    /// P(b <= s) under the current posterior.
+    [[nodiscard]] double p_leq(std::uint64_t s) const;
+
+    /// Shannon entropy (nats) of the posterior.
+    [[nodiscard]] double entropy() const;
+
+    /// Posterior mode; the lowest step on ties.
+    [[nodiscard]] std::uint64_t map_estimate() const;
+
+    /// Inverse-CDF draw from the posterior (Thompson-style candidate
+    /// generation); deterministic given the Rng state.
+    [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+    /// Certified bracket: every step outside [hard_lo, hard_hi] has been
+    /// EXCLUDED by hard evidence.  Monotone non-widening by construction.
+    [[nodiscard]] std::uint64_t hard_lo() const { return hard_lo_; }
+    [[nodiscard]] std::uint64_t hard_hi() const { return hard_hi_; }
+    [[nodiscard]] std::uint64_t width() const { return hard_hi_ - hard_lo_; }
+
+    /// The stopping rule: the bracket has collapsed to one step, which
+    /// is exactly the bisection bracket invariant (!pred(b - 1) &&
+    /// pred(b)) — a 0-cell certificate, stronger than the 1-cell target.
+    [[nodiscard]] bool certified() const { return hard_lo_ == hard_hi_; }
+
+private:
+    void renormalize();
+    [[nodiscard]] double weight_sum() const;
+
+    std::vector<double> w_;  // w_[i] is the weight of step i + 1
+    std::uint64_t hard_lo_;
+    std::uint64_t hard_hi_;
+};
+
+}  // namespace pv::infer

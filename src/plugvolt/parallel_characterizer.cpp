@@ -1,5 +1,6 @@
 #include "plugvolt/parallel_characterizer.hpp"
 
+#include <cmath>
 #include <future>
 #include <memory>
 #include <optional>
@@ -11,6 +12,7 @@
 #include "util/flat_map.hpp"
 #include "check/state_hasher.hpp"
 #include "os/kernel.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -28,6 +30,7 @@ const char* to_string(SweepMode mode) {
     switch (mode) {
         case SweepMode::Exhaustive: return "exhaustive";
         case SweepMode::Bisection: return "bisection";
+        case SweepMode::Adaptive: return "adaptive";
     }
     return "?";
 }
@@ -129,6 +132,11 @@ ParallelCharacterizer::ParallelCharacterizer(sim::CpuProfile profile,
         throw ConfigError("run_inline sweeps are serial; workers must be 1");
     if (config_.refine_window == 0)
         throw ConfigError("refine_window must cover at least one step");
+    if (config_.mode == SweepMode::Adaptive && !config_.planner)
+        throw ConfigError(
+            "Adaptive sweeps need an injected planner (src/infer provides one)");
+    if (config_.mode != SweepMode::Adaptive && config_.planner)
+        throw ConfigError("a planner is only meaningful in Adaptive mode");
     if (config_.fault_plan) config_.fault_plan->validate();
     // Validate the cell protocol eagerly (same checks a Characterizer
     // would apply) so misconfiguration surfaces here, not on a worker.
@@ -416,6 +424,7 @@ SafeStateMap ParallelCharacterizer::run_rows(
     const FlatMap<std::uint64_t, resilience::RowRecord>& done,
     const std::function<void(const resilience::RowRecord&)>& commit,
     const std::function<void(const FreqCharacterization&)>& progress) {
+    if (config_.mode == SweepMode::Adaptive) return run_adaptive(done, commit, progress);
     const std::vector<Megahertz> table = profile_.frequency_table();
     stats_ = {};
 
@@ -500,6 +509,160 @@ SafeStateMap ParallelCharacterizer::run_rows(
         if (progress) progress(outcome.row);
     }
     for (const auto& worker : workers) stats_.env_faults += worker->env_faults();
+    return map;
+}
+
+SafeStateMap ParallelCharacterizer::run_adaptive(
+    const FlatMap<std::uint64_t, resilience::RowRecord>& done,
+    const std::function<void(const resilience::RowRecord&)>& commit,
+    const std::function<void(const FreqCharacterization&)>& progress) {
+    const std::vector<Megahertz> table = profile_.frequency_table();
+    stats_ = {};
+    probe_log_.clear();
+
+    // The planner itself is sequential; workers are interchangeable
+    // simulator contexts (every probe reseeds from the cell seed), so
+    // results AND the probe sequence are worker-count-independent — the
+    // acquisition-determinism PROP test pins that down.
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.reserve(config_.workers);
+    for (unsigned w = 0; w < config_.workers; ++w)
+        workers.push_back(std::make_unique<Worker>(profile_, config_.cell,
+                                                   mix_seed(config_.seed, 1'000'000 + w),
+                                                   config_.fault_plan));
+
+    const Characterizer& chr = workers[0]->characterizer();
+    const std::uint64_t steps = chr.sweep_steps();
+    const double step_mv = config_.cell.offset_step.value();
+    const double sentinel_mv = chr.no_crash_sentinel().value();
+    const auto to_step = [step_mv](double offset_mv) {
+        return static_cast<std::uint64_t>(std::llround(-offset_mv / step_mv));
+    };
+
+    AdaptiveContext ctx;
+    ctx.rows = table.size();
+    ctx.steps = steps;
+    ctx.seed = config_.seed;
+    ctx.refine_window = config_.refine_window;
+    ctx.warm_start = config_.warm_start;
+    ctx.adopted.assign(table.size(), std::nullopt);
+    for (const auto& [i, rec] : done) {
+        // Back to the planner's step coordinates.  A journal only records
+        // boundary millivolts; onset == crash collapses to the same
+        // effective encoding the planner's interpolation logic uses, so
+        // replanning from adopted rows reproduces the uninterrupted plan.
+        PlannedRow adopted;
+        adopted.anchored = rec.cells > 0;  // cells == 0 marks interpolated rows
+        adopted.crash_step =
+            rec.crash_mv == sentinel_mv ? steps + 1 : to_step(rec.crash_mv);
+        adopted.onset_step =
+            rec.fault_free || rec.onset_mv == 0.0 ? 0 : to_step(rec.onset_mv);
+        ctx.adopted[i] = adopted;
+    }
+
+    // Engine-level probe memo: the per-worker caches are row-scoped (and
+    // reset when a worker switches rows), but the planner's certificate
+    // logic may revisit a (row, step) pair at any point; every pair is
+    // probed and logged at most once per sweep.
+    FlatMap<std::uint64_t, CellResult> memo;
+    std::vector<std::size_t> worker_row(workers.size(), table.size());
+    const CellProbeFn probe = [&](std::size_t row, std::uint64_t step) -> CellResult {
+        PV_ASSERT(row < table.size() && step >= 1 && step <= steps,
+                  "adaptive probe out of range: row " << row << " step " << step);
+        const std::uint64_t key = static_cast<std::uint64_t>(row) * (steps + 2) + step;
+        if (const auto it = memo.find(key); it != memo.end()) return it->second;
+        const std::size_t w = row % workers.size();
+        if (worker_row[w] != row) {
+            workers[w]->begin_row(table[row], mix_seed(config_.seed, row));
+            worker_row[w] = row;
+        }
+        const CellResult cell = workers[w]->probe(step);
+        probe_log_.push_back({row, step, cell.faults, cell.crashed});
+        // Stamped with the selection ordinal, not machine time: the
+        // planner runs outside any single machine's virtual clock, and
+        // the ordinal is just as deterministic.
+        PV_TRACE_EVENT(trace::EventKind::ProbeSelected, "adaptive-probe",
+                       static_cast<std::int64_t>(probe_log_.size()), row, step);
+        memo.emplace(key, cell);
+        return cell;
+    };
+
+    const std::vector<PlannedRow> plan = config_.planner(ctx, probe);
+    if (plan.size() != table.size())
+        throw ConfigError("adaptive planner returned " + std::to_string(plan.size()) +
+                          " rows for a " + std::to_string(table.size()) + "-row table");
+
+    std::vector<std::uint64_t> row_cells(table.size(), 0);
+    std::vector<std::uint64_t> row_crashes(table.size(), 0);
+    for (const ProbeLogEntry& entry : probe_log_) {
+        ++row_cells[entry.row];
+        if (entry.crashed) ++row_crashes[entry.row];
+    }
+
+    SafeStateMap map(profile_.name, config_.cell.sweep_floor);
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        ++stats_.rows;
+        if (const auto it = done.find(i); it != done.end()) {
+            const resilience::RowRecord& rec = it->second;
+            const FreqCharacterization row{
+                .freq = Megahertz{rec.freq_mhz},
+                .onset = Millivolts{rec.onset_mv},
+                .crash = Millivolts{rec.crash_mv},
+                .fault_free = rec.fault_free,
+            };
+            ++stats_.rows_resumed;
+            map.add(row);
+            if (progress) progress(row);
+            continue;
+        }
+        const PlannedRow& planned = plan[i];
+        if (planned.crash_step < 1 || planned.crash_step > steps + 1 ||
+            planned.onset_step > steps ||
+            (planned.onset_step != 0 && planned.onset_step > planned.crash_step))
+            throw ConfigError("adaptive planner returned an invalid verdict for row " +
+                              std::to_string(i));
+        FreqCharacterization row{
+            .freq = table[i],
+            .onset = Millivolts{0.0},
+            .crash = chr.no_crash_sentinel(),
+            .fault_free = true,
+        };
+        if (planned.crash_step <= steps) {
+            row.crash = chr.offset_at_step(planned.crash_step);
+            row.fault_free = false;
+        }
+        if (planned.onset_step != 0) {
+            row.onset = chr.offset_at_step(planned.onset_step);
+            row.fault_free = false;
+        } else if (planned.crash_step <= steps) {
+            row.onset = row.crash;  // faults and crash within one step
+        }
+        if (row_cells[i] == 0) ++stats_.rows_interpolated;
+        if (commit) {
+            // Same write-ahead contract as the other modes; cells == 0
+            // doubles as the interpolated-row marker a resumed plan reads
+            // back through ctx.adopted.
+            commit(resilience::RowRecord{
+                .row_index = i,
+                .freq_mhz = row.freq.value(),
+                .onset_mv = row.onset.value(),
+                .crash_mv = row.crash.value(),
+                .fault_free = row.fault_free,
+                .cells = row_cells[i],
+                .crashes = row_crashes[i],
+            });
+            ++stats_.journal_commits;
+        }
+        map.add(row);
+        if (progress) progress(row);
+    }
+    stats_.cells_evaluated = probe_log_.size();
+    for (const ProbeLogEntry& entry : probe_log_)
+        if (entry.crashed) ++stats_.crash_probes;
+    for (const auto& worker : workers) {
+        stats_.env_faults += worker->env_faults();
+        stats_.msr_retries += worker->characterizer().msr_retries();
+    }
     return map;
 }
 

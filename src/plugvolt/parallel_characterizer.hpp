@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "plugvolt/characterizer.hpp"
 #include "plugvolt/safe_state.hpp"
@@ -57,6 +58,7 @@ namespace pv::plugvolt {
 enum class SweepMode {
     Exhaustive,  ///< probe every offset step down to the crash (validation)
     Bisection,   ///< O(log steps) boundary search (production fast path)
+    Adaptive,    ///< posterior-driven probe selection (src/infer planner)
 };
 
 [[nodiscard]] const char* to_string(SweepMode mode);
@@ -79,6 +81,71 @@ struct RowWarmStart {
 /// return std::nullopt (or zero steps) to fall back to the cold search.
 /// Called on the worker thread that characterizes the row.
 using WarmStartFn = std::function<std::optional<RowWarmStart>(std::size_t row_index)>;
+
+// --- Adaptive-mode delegation ------------------------------------------
+// The Adaptive sweep strategy is IMPLEMENTED one layer up, in src/infer
+// (posterior model + cost-aware acquisition); plugvolt only defines the
+// delegation surface so the layering DAG stays acyclic: infer includes
+// plugvolt, and callers that want adaptive sweeps (fleet, bench, tests)
+// inject an infer planner through ParallelCharacterizerConfig::planner —
+// the same inversion the fleet orchestrator already uses for WarmStartFn.
+
+/// One cell probe actually executed by an adaptive sweep, in selection
+/// order.  `step` is the 1-based offset step of the row's column.
+struct ProbeLogEntry {
+    std::uint64_t row = 0;
+    std::uint64_t step = 0;
+    std::uint64_t faults = 0;
+    bool crashed = false;
+};
+
+/// An adaptive planner's verdict for one frequency row, in 1-based
+/// offset steps (the bisection's coordinate system):
+///   crash_step in [1, steps]  — certified crash boundary;
+///   crash_step == steps + 1   — no crash inside the sweep;
+///   onset_step in [1, steps]  — shallowest faulting cell;
+///   onset_step == 0           — no faulting cell (fault-free column, or
+///                               the band hides under the crash cell).
+/// `anchored` rows were certified by direct probes (the bisection
+/// bracket invariant holds for them); non-anchored rows were interpolated
+/// between anchors and carry a 1-cell accuracy certificate instead.
+struct PlannedRow {
+    std::uint64_t crash_step = 0;
+    std::uint64_t onset_step = 0;
+    bool anchored = false;
+};
+
+/// Everything a planner may condition on.  Probe OUTCOMES arrive only
+/// through the CellProbeFn the engine passes alongside, which routes
+/// through the same memoized per-cell reseeding path as every other
+/// sweep mode — that is what keeps any adaptively probed cell
+/// bit-identical to its exhaustive counterpart.
+struct AdaptiveContext {
+    std::size_t rows = 0;            ///< frequency-table size
+    std::uint64_t steps = 0;         ///< offset steps per column
+    std::uint64_t seed = 0;          ///< sweep seed (planner RNG root)
+    std::uint64_t refine_window = 0; ///< onset observability-band bound
+    /// Rows already durable in a journal being resumed: the planner must
+    /// treat anchored entries as certified boundary values (their probes
+    /// already happened in the killed run) and must not re-derive them.
+    /// Planning decisions may depend only on certified VALUES, never on
+    /// probe counts — that is the resume bit-identity contract.
+    std::vector<std::optional<PlannedRow>> adopted;
+    /// Lot-neighbour prior source (fleet warm start); hints shape the
+    /// posterior only, never certified results.
+    WarmStartFn warm_start;
+};
+
+/// Probe offset step `s` (1-based, <= steps) of row `row`.  Memoized by
+/// the engine: repeated calls are free and logged once.
+using CellProbeFn = std::function<CellResult(std::size_t row, std::uint64_t step)>;
+
+/// The adaptive strategy itself: given the context and a probe oracle,
+/// return a verdict for every row.  Runs sequentially on the sweep's
+/// calling thread, so the probe sequence is a pure function of
+/// (context, probe outcomes) regardless of worker count.
+using AdaptivePlannerFn =
+    std::function<std::vector<PlannedRow>(const AdaptiveContext&, const CellProbeFn&)>;
 
 struct ParallelCharacterizerConfig {
     /// Per-cell protocol (offset step, floor, ops per cell, cores, ...).
@@ -108,6 +175,13 @@ struct ParallelCharacterizerConfig {
     /// Exhaustive mode).  Affects probe cost only, never results, and is
     /// therefore excluded from config_hash().
     WarmStartFn warm_start;
+    /// Adaptive-mode strategy (required when mode == SweepMode::Adaptive,
+    /// rejected otherwise).  Like warm_start it is excluded from
+    /// config_hash(): the mode itself IS hashed, and a conforming planner
+    /// produces results determined by (profile, cell protocol, seed) —
+    /// the differential tests hold adaptive maps to the golden
+    /// fingerprints within the certified 1-cell tolerance.
+    AdaptivePlannerFn planner;
 };
 
 /// Aggregate cost counters of one sweep (the quantities the bench
@@ -121,6 +195,7 @@ struct SweepStats {
     std::uint64_t env_faults = 0;       ///< environment faults injected
     std::uint64_t journal_commits = 0;  ///< row frames committed this run
     std::uint64_t journal_bytes = 0;    ///< bytes physically written this run
+    std::uint64_t rows_interpolated = 0;  ///< adaptive rows certified without probes
 };
 
 /// The sharded Algorithm 2 driver.
@@ -178,6 +253,15 @@ public:
     /// Counters of the last characterize() call.
     [[nodiscard]] const SweepStats& stats() const { return stats_; }
 
+    /// Every cell probe the last Adaptive sweep executed, in selection
+    /// order (empty for other modes).  The determinism PROP tests assert
+    /// this sequence bit-identical across worker counts, and the
+    /// differential layer replays each entry against a fresh-boot
+    /// single-cell characterization.
+    [[nodiscard]] const std::vector<ProbeLogEntry>& adaptive_probe_log() const {
+        return probe_log_;
+    }
+
     [[nodiscard]] const ParallelCharacterizerConfig& config() const { return config_; }
     [[nodiscard]] const sim::CpuProfile& profile() const { return profile_; }
 
@@ -205,9 +289,20 @@ private:
         const std::function<void(const resilience::RowRecord&)>& commit,
         const std::function<void(const FreqCharacterization&)>& progress);
 
+    /// Adaptive execution strategy: the injected planner drives probes
+    /// sequentially on the calling thread (workers supply interchangeable
+    /// simulator contexts, so results and the probe sequence are
+    /// worker-count-independent), then rows are delivered in frequency
+    /// order under the same commit-before-progress contract.
+    [[nodiscard]] SafeStateMap run_adaptive(
+        const FlatMap<std::uint64_t, resilience::RowRecord>& done,
+        const std::function<void(const resilience::RowRecord&)>& commit,
+        const std::function<void(const FreqCharacterization&)>& progress);
+
     sim::CpuProfile profile_;
     ParallelCharacterizerConfig config_;
     SweepStats stats_{};
+    std::vector<ProbeLogEntry> probe_log_;
 };
 
 }  // namespace pv::plugvolt

@@ -33,6 +33,8 @@ enum class EventKind : std::uint8_t {
     EnvFaultInjected,  ///< resilience::FaultInjector fired (EIO, stale read, ...)
     RetryBackoff,      ///< a bounded retry waited its deterministic backoff
     JournalCommit,     ///< sweep journal made one row durable
+    ProbeSelected,     ///< adaptive sweep chose its next (f, v) probe
+    PosteriorUpdate,   ///< adaptive boundary posterior absorbed an observation
 };
 
 /// Stable human-readable tag for an event kind.

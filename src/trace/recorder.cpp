@@ -25,6 +25,8 @@ const char* kind_name(EventKind kind) {
         case EventKind::EnvFaultInjected: return "env-fault";
         case EventKind::RetryBackoff: return "retry-backoff";
         case EventKind::JournalCommit: return "journal-commit";
+        case EventKind::ProbeSelected: return "probe-selected";
+        case EventKind::PosteriorUpdate: return "posterior-update";
     }
     return "?";
 }

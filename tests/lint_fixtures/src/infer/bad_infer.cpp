@@ -1,0 +1,11 @@
+// Seeded violations: layering (infer, rank 5, climbing to campaign) and
+// determinism-unordered (src/infer carries posterior fingerprints).
+// Lines pinned by tests/test_pvlint.cpp.
+#include "campaign/bad_clock.hpp"  // line 4: layering (infer -> campaign)
+#include <unordered_map>           // line 5: determinism-unordered
+
+int fixture_infer_posterior() {
+    std::unordered_map<int, double> weights;  // line 8: determinism-unordered
+    weights[1] = 0.5;
+    return static_cast<int>(weights.size());
+}

@@ -1,0 +1,7 @@
+// Seeded violation: layering.  plugvolt (rank 4) defines the adaptive
+// delegation surface (AdaptivePlannerFn) but must not include its
+// implementer infer (rank 5) — callers inject the planner downward.
+// Lines pinned by tests/test_pvlint.cpp.
+#include "infer/adaptive_planner.hpp"  // line 5: layering (plugvolt -> infer)
+
+int fixture_bad_adaptive() { return 0; }

@@ -1,0 +1,193 @@
+// Differential proof layer of the adaptive inference engine.
+//
+// Against every golden profile x resolution case the exhaustive sweep
+// defines the truth, and the adaptive plan must:
+//   - land every row's crash AND onset boundary within one effective
+//     offset step (the planner's interpolation certificate), where
+//     "effective" maps fault-free / never-crashed to the point one past
+//     the deepest step so the sentinel discontinuity cannot hide errors;
+//   - reproduce anchored (directly probed) rows EXACTLY — anchors run
+//     the bisection bracket invariant to certification, so they carry a
+//     0-cell certificate;
+//   - execute only probes that are bit-identical to a fresh-boot
+//     single-cell characterization under the sweep's per-cell seeding
+//     scheme (replayed here cell by cell from the probe log);
+//   - keep fleet per-unit maps bit-identical between warm-started and
+//     cold adaptive runs (priors move probes, never verdicts).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_orchestrator.hpp"
+#include "fleet/silicon_lot.hpp"
+#include "infer/adaptive_planner.hpp"
+#include "os/kernel.hpp"
+#include "plugvolt/parallel_characterizer.hpp"
+#include "plugvolt/safe_state.hpp"
+#include "sim/cpu_profile.hpp"
+#include "util/rng.hpp"
+
+namespace pv::infer {
+namespace {
+
+struct GoldenCase {
+    const char* slug;
+    sim::CpuProfile (*profile)();
+    double step_mv;
+};
+
+const std::vector<GoldenCase>& golden_cases() {
+    static const std::vector<GoldenCase> cases = {
+        {"skylake_5mv", sim::skylake_i5_6500, 5.0},
+        {"skylake_10mv", sim::skylake_i5_6500, 10.0},
+        {"kabylake_r_5mv", sim::kabylake_r_i5_8250u, 5.0},
+        {"kabylake_r_10mv", sim::kabylake_r_i5_8250u, 10.0},
+        {"cometlake_5mv", sim::cometlake_i7_10510u, 5.0},
+        {"cometlake_10mv", sim::cometlake_i7_10510u, 10.0},
+    };
+    return cases;
+}
+
+plugvolt::ParallelCharacterizerConfig sweep_config(double step_mv,
+                                                   plugvolt::SweepMode mode) {
+    plugvolt::ParallelCharacterizerConfig config;
+    config.cell.offset_step = Millivolts{step_mv};
+    config.workers = 2;
+    config.mode = mode;
+    config.refine_window = 2;
+    if (mode == plugvolt::SweepMode::Adaptive) config.planner = adaptive_planner();
+    return config;
+}
+
+/// Boundary in effective-step space: fault-free / never-crashed rows map
+/// to steps + 1 instead of their sentinel millivolt encodings, so cell
+/// distance is well defined across the discontinuity.
+std::uint64_t eff_crash(const plugvolt::FreqCharacterization& row, double sentinel_mv,
+                        double step_mv, std::uint64_t steps) {
+    if (row.crash.value() == sentinel_mv) return steps + 1;
+    return static_cast<std::uint64_t>(std::llround(-row.crash.value() / step_mv));
+}
+
+std::uint64_t eff_onset(const plugvolt::FreqCharacterization& row, double step_mv,
+                        std::uint64_t steps) {
+    if (row.fault_free) return steps + 1;
+    return static_cast<std::uint64_t>(std::llround(-row.onset.value() / step_mv));
+}
+
+TEST(AdaptiveDifferential, WithinOneCellOfExhaustiveOnAllGoldenCases) {
+    for (const GoldenCase& c : golden_cases()) {
+        SCOPED_TRACE(c.slug);
+        plugvolt::ParallelCharacterizer exhaustive(
+            c.profile(), sweep_config(c.step_mv, plugvolt::SweepMode::Exhaustive));
+        const plugvolt::SafeStateMap truth = exhaustive.characterize();
+
+        plugvolt::ParallelCharacterizer adaptive(
+            c.profile(), sweep_config(c.step_mv, plugvolt::SweepMode::Adaptive));
+        const plugvolt::SafeStateMap map = adaptive.characterize();
+
+        const auto& cell = adaptive.config().cell;
+        const double sentinel_mv = (cell.sweep_floor - cell.offset_step).value();
+        const std::uint64_t steps = static_cast<std::uint64_t>(
+            std::floor(-cell.sweep_floor.value() / c.step_mv));
+        ASSERT_EQ(truth.rows().size(), map.rows().size());
+
+        std::vector<std::uint64_t> row_probes(truth.rows().size(), 0);
+        for (const plugvolt::ProbeLogEntry& e : adaptive.adaptive_probe_log())
+            ++row_probes[e.row];
+
+        std::uint64_t anchored_rows = 0;
+        for (std::size_t i = 0; i < truth.rows().size(); ++i) {
+            SCOPED_TRACE("row " + std::to_string(i));
+            const auto& t = truth.rows()[i];
+            const auto& a = map.rows()[i];
+            const std::uint64_t tc = eff_crash(t, sentinel_mv, c.step_mv, steps);
+            const std::uint64_t ac = eff_crash(a, sentinel_mv, c.step_mv, steps);
+            const std::uint64_t to = eff_onset(t, c.step_mv, steps);
+            const std::uint64_t ao = eff_onset(a, c.step_mv, steps);
+            EXPECT_LE(tc > ac ? tc - ac : ac - tc, 1u);
+            EXPECT_LE(to > ao ? to - ao : ao - to, 1u);
+            if (row_probes[i] != 0) {
+                ++anchored_rows;
+                EXPECT_EQ(t.crash.value(), a.crash.value());
+                EXPECT_EQ(t.onset.value(), a.onset.value());
+                EXPECT_EQ(t.fault_free, a.fault_free);
+            }
+        }
+        // The plan must actually exploit interpolation (otherwise it is
+        // just a slow bisection) while anchoring both endpoints.
+        EXPECT_GT(adaptive.stats().rows_interpolated, 0u);
+        EXPECT_EQ(adaptive.stats().rows_interpolated,
+                  truth.rows().size() - anchored_rows);
+        EXPECT_GT(anchored_rows, 1u);
+        EXPECT_LT(adaptive.stats().cells_evaluated, exhaustive.stats().cells_evaluated);
+    }
+}
+
+TEST(AdaptiveDifferential, EveryProbedCellMatchesAFreshBootCharacterization) {
+    // One representative per profile at 10 mV keeps the replay volume
+    // test-sized; the bench replays every resolution's full log.
+    for (const GoldenCase& c : golden_cases()) {
+        if (c.step_mv != 10.0) continue;
+        SCOPED_TRACE(c.slug);
+        const sim::CpuProfile profile = c.profile();
+        plugvolt::ParallelCharacterizer adaptive(
+            profile, sweep_config(c.step_mv, plugvolt::SweepMode::Adaptive));
+        (void)adaptive.characterize();
+        const auto& config = adaptive.config();
+        ASSERT_FALSE(adaptive.adaptive_probe_log().empty());
+        for (const plugvolt::ProbeLogEntry& e : adaptive.adaptive_probe_log()) {
+            os::WorkerContext ctx = os::make_worker_context(profile, /*seed=*/0);
+            plugvolt::Characterizer chr(*ctx.kernel, config.cell);
+            ctx.machine->reset(mix_seed(mix_seed(config.seed, e.row), e.step));
+            const Megahertz f = profile.frequency_table()[e.row];
+            chr.pin_frequency(f);
+            const plugvolt::CellResult replay =
+                chr.test_cell_pinned(f, chr.offset_at_step(e.step));
+            ASSERT_EQ(replay.faults, e.faults)
+                << "row " << e.row << " step " << e.step;
+            ASSERT_EQ(replay.crashed, e.crashed)
+                << "row " << e.row << " step " << e.step;
+        }
+    }
+}
+
+TEST(AdaptiveDifferential, FleetWarmStartMovesProbesNeverVerdicts) {
+    const fleet::SiliconLot lot(sim::cometlake_i7_10510u(), {});
+    const auto fleet_config = [](bool warm) {
+        fleet::FleetConfig config;
+        config.units = 12;
+        config.sweep.cell.offset_step = Millivolts{10.0};
+        config.sweep.mode = plugvolt::SweepMode::Adaptive;
+        config.sweep.refine_window = 2;
+        config.warm_start = warm;
+        config.workers = 2;
+        return config;
+    };
+    // The orchestrator attaches the infer planner by default in
+    // Adaptive mode — no caller-supplied planner here on purpose.
+    fleet::FleetOrchestrator warm(lot, fleet_config(true));
+    fleet::FleetOrchestrator cold(lot, fleet_config(false));
+    std::vector<std::uint64_t> warm_hashes;
+    std::vector<std::uint64_t> cold_hashes;
+    (void)warm.characterize([&warm_hashes](std::uint64_t, const plugvolt::SafeStateMap& m) {
+        warm_hashes.push_back(state_hash(m));
+    });
+    (void)cold.characterize([&cold_hashes](std::uint64_t, const plugvolt::SafeStateMap& m) {
+        cold_hashes.push_back(state_hash(m));
+    });
+    ASSERT_EQ(warm_hashes.size(), cold_hashes.size());
+    for (std::size_t u = 0; u < warm_hashes.size(); ++u)
+        EXPECT_EQ(warm_hashes[u], cold_hashes[u]) << "unit " << u;
+    // Warm starts saved probes (the gate bench enforces the budget; here
+    // only the direction matters) without changing a single verdict.
+    EXPECT_LT(warm.stats().cells_evaluated, cold.stats().cells_evaluated);
+    EXPECT_GT(warm.stats().warm_rows, 0u);
+    // And the cold fleet maps equal cold SOLO adaptive sweeps.
+    for (std::uint64_t u = 0; u < warm_hashes.size(); u += 5)
+        EXPECT_EQ(cold_hashes[u], state_hash(cold.characterize_unit(u))) << "unit " << u;
+}
+
+}  // namespace
+}  // namespace pv::infer

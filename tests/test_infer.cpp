@@ -1,0 +1,218 @@
+// infer — boundary posterior, cost-aware acquisition, and the adaptive
+// sweep's determinism contracts.
+//
+// The load-bearing properties, each pinned here:
+//   - hard evidence only ever SHRINKS the certified bracket (the
+//     stopping rule's soundness reduces to this monotonicity);
+//   - soft (noisy-threshold) evidence and priors never move the bracket;
+//   - with a uniform posterior and free reboots the acquisition is the
+//     bisection median — the scheme degenerates to the mode it replaces;
+//   - the probe sequence of an adaptive sweep is a pure function of the
+//     sweep seed: bit-identical between a serial inline run and a
+//     5-worker run, probe for probe.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "infer/acquisition.hpp"
+#include "infer/adaptive_planner.hpp"
+#include "infer/boundary_posterior.hpp"
+#include "plugvolt/parallel_characterizer.hpp"
+#include "plugvolt/safe_state.hpp"
+#include "sim/cpu_profile.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pv::infer {
+namespace {
+
+TEST(BoundaryPosterior, UniformPriorCoversTheFullSupport) {
+    const BoundaryPosterior posterior(12);
+    EXPECT_EQ(posterior.hard_lo(), 1u);
+    EXPECT_EQ(posterior.hard_hi(), 12u);
+    EXPECT_FALSE(posterior.certified());
+    EXPECT_DOUBLE_EQ(posterior.p_leq(6), 0.5);
+    EXPECT_DOUBLE_EQ(posterior.p_leq(12), 1.0);
+    EXPECT_THROW(BoundaryPosterior(0), ConfigError);
+}
+
+TEST(BoundaryPosterior, HardEvidenceCertifiesTheBisectionInvariant) {
+    // Hidden truth b = 7 on support {1..20}; answer bisection queries
+    // truthfully and the bracket must collapse to exactly {7}.
+    BoundaryPosterior posterior(20);
+    constexpr std::uint64_t kTruth = 7;
+    while (!posterior.certified()) {
+        const std::uint64_t s = (posterior.hard_lo() + posterior.hard_hi() - 1) / 2;
+        if (kTruth <= s)
+            posterior.restrict_leq(s);
+        else
+            posterior.restrict_geq(s + 1);
+    }
+    EXPECT_EQ(posterior.hard_lo(), kTruth);
+    EXPECT_EQ(posterior.map_estimate(), kTruth);
+    EXPECT_DOUBLE_EQ(posterior.p_leq(kTruth), 1.0);
+    EXPECT_DOUBLE_EQ(posterior.entropy(), 0.0);
+}
+
+TEST(BoundaryPosterior, SoftEvidenceAndPriorsNeverMoveTheBracket) {
+    BoundaryPosterior posterior(15);
+    posterior.restrict_geq(3);
+    posterior.restrict_leq(11);
+    const std::uint64_t lo = posterior.hard_lo();
+    const std::uint64_t hi = posterior.hard_hi();
+    posterior.observe_clean_noisy(9, 1.25);
+    posterior.observe_clean_noisy(4, 1.25);
+    posterior.recenter(5, 0.45, 1e-9);
+    EXPECT_EQ(posterior.hard_lo(), lo);
+    EXPECT_EQ(posterior.hard_hi(), hi);
+    // A hammered soft prior must not starve still-possible steps: the
+    // floor keeps every bracket step reachable by hard evidence.
+    for (int i = 0; i < 200; ++i) posterior.observe_clean_noisy(9, 1.25);
+    posterior.restrict_geq(10);
+    EXPECT_EQ(posterior.hard_lo(), 10u);
+    EXPECT_EQ(posterior.hard_hi(), 11u);
+    EXPECT_THROW(posterior.observe_clean_noisy(5, 0.0), ConfigError);
+    EXPECT_THROW(posterior.recenter(5, 1.5, 1e-9), ConfigError);
+    EXPECT_THROW(posterior.recenter(5, 0.5, 0.0), ConfigError);
+}
+
+// PROP: for ANY consistent observation sequence (hard evidence derived
+// from a hidden truth, arbitrary soft evidence and re-priors mixed in),
+// the certified bracket never widens, always contains the truth, and
+// certification is permanent.
+TEST(PropPosterior, ObservationsNeverWidenTheCertifiedBracket) {
+    constexpr std::uint64_t kSeedRoot = 0xB0'04DA'2026;
+    for (std::uint64_t trial = 0; trial < 200; ++trial) {
+        Rng rng(mix_seed(kSeedRoot, trial));
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        const std::uint64_t support = 2 + rng.uniform_below(40);
+        const std::uint64_t truth = 1 + rng.uniform_below(support);
+        BoundaryPosterior posterior(support);
+        std::uint64_t lo = posterior.hard_lo();
+        std::uint64_t hi = posterior.hard_hi();
+        for (int op = 0; op < 60; ++op) {
+            const std::uint64_t s = 1 + rng.uniform_below(support);
+            switch (rng.uniform_below(4)) {
+                case 0:  // truthful hard evidence about step s
+                    if (truth <= s)
+                        posterior.restrict_leq(s);
+                    else
+                        posterior.restrict_geq(s + 1);
+                    break;
+                case 1:
+                    if (s < truth) posterior.observe_clean_noisy(s, 1.25);
+                    break;
+                case 2:
+                    posterior.recenter(s, 0.45, 1e-9);
+                    break;
+                case 3:
+                    (void)posterior.sample(rng);
+                    break;
+            }
+            ASSERT_GE(posterior.hard_lo(), lo);
+            ASSERT_LE(posterior.hard_hi(), hi);
+            ASSERT_LE(posterior.hard_lo(), posterior.hard_hi());
+            ASSERT_GE(truth, posterior.hard_lo());
+            ASSERT_LE(truth, posterior.hard_hi());
+            const std::uint64_t draw = posterior.sample(rng);
+            ASSERT_GE(draw, posterior.hard_lo());
+            ASSERT_LE(draw, posterior.hard_hi());
+            lo = posterior.hard_lo();
+            hi = posterior.hard_hi();
+        }
+    }
+}
+
+TEST(Acquisition, UniformPosteriorDegeneratesToBisection) {
+    // Support {1..16}, free reboots: H2(P(b <= s)) peaks uniquely at the
+    // median split s = 8, so the acquisition IS bisection's first query.
+    const BoundaryPosterior posterior(16);
+    Rng rng(0xACC'2026);
+    AcquisitionConfig config;
+    config.reboot_cost = 0.0;
+    EXPECT_EQ(select_crash_probe(posterior, config, 16, rng), 8u);
+    // Scores are symmetric around the median and fall off it.
+    EXPECT_GT(crash_probe_score(posterior, 8, 0.0), crash_probe_score(posterior, 4, 0.0));
+    EXPECT_DOUBLE_EQ(crash_probe_score(posterior, 4, 0.0),
+                     crash_probe_score(posterior, 12, 0.0));
+}
+
+TEST(Acquisition, RebootSurchargeDriftsProbesShallow) {
+    const BoundaryPosterior posterior(16);
+    Rng rng(0xACC'2027);
+    AcquisitionConfig config;
+    config.reboot_cost = 10.0;
+    const std::uint64_t probe = select_crash_probe(posterior, config, 16, rng);
+    EXPECT_LT(probe, 8u);  // crash-risky deep probes price themselves out
+    EXPECT_GE(probe, 1u);
+    // max_step caps candidates (the onset channel probes under the crash).
+    EXPECT_LE(select_crash_probe(posterior, config, 3, rng), 3u);
+}
+
+TEST(AdaptivePlanner, RejectsInvalidConfigurationsEagerly) {
+    AcquisitionConfig bad;
+    bad.reboot_cost = -1.0;
+    EXPECT_THROW((void)adaptive_planner(bad), ConfigError);
+    bad = {};
+    bad.onset_tau = 0.0;
+    EXPECT_THROW((void)adaptive_planner(bad), ConfigError);
+    bad = {};
+    bad.prior_decay = 1.0;
+    EXPECT_THROW((void)adaptive_planner(bad), ConfigError);
+    bad = {};
+    bad.prior_floor = 0.0;
+    EXPECT_THROW((void)adaptive_planner(bad), ConfigError);
+}
+
+TEST(AdaptivePlanner, EngineRequiresAndRejectsThePlannerByMode) {
+    const sim::CpuProfile profile = sim::skylake_i5_6500();
+    plugvolt::ParallelCharacterizerConfig config;
+    config.cell.offset_step = Millivolts{10.0};
+    config.mode = plugvolt::SweepMode::Adaptive;
+    EXPECT_THROW(plugvolt::ParallelCharacterizer(profile, config), ConfigError);
+    config.planner = adaptive_planner();
+    EXPECT_NO_THROW(plugvolt::ParallelCharacterizer(profile, config));
+    config.mode = plugvolt::SweepMode::Bisection;
+    EXPECT_THROW(plugvolt::ParallelCharacterizer(profile, config), ConfigError);
+}
+
+// PROP: the probe sequence and the resulting map of an adaptive sweep
+// are pure functions of the sweep seed — independent of worker count
+// and execution strategy (serial inline vs a 5-worker pool).
+TEST(PropAdaptive, ProbeSequenceIsWorkerCountInvariant) {
+    const sim::CpuProfile profile = sim::cometlake_i7_10510u();
+    for (std::uint64_t trial = 0; trial < 3; ++trial) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        const std::uint64_t seed = mix_seed(0xADA'2026, trial);
+        const auto sweep = [&](unsigned workers, bool inline_run) {
+            plugvolt::ParallelCharacterizerConfig config;
+            config.cell.offset_step = Millivolts{10.0};
+            config.mode = plugvolt::SweepMode::Adaptive;
+            config.refine_window = 2;
+            config.seed = seed;
+            config.workers = workers;
+            config.run_inline = inline_run;
+            config.planner = adaptive_planner();
+            return plugvolt::ParallelCharacterizer(profile, config);
+        };
+        auto serial = sweep(1, true);
+        auto pooled = sweep(5, false);
+        const std::uint64_t serial_hash = state_hash(serial.characterize());
+        const std::uint64_t pooled_hash = state_hash(pooled.characterize());
+        EXPECT_EQ(serial_hash, pooled_hash);
+        const auto& a = serial.adaptive_probe_log();
+        const auto& b = pooled.adaptive_probe_log();
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            ASSERT_EQ(a[i].row, b[i].row) << "probe " << i;
+            ASSERT_EQ(a[i].step, b[i].step) << "probe " << i;
+            ASSERT_EQ(a[i].faults, b[i].faults) << "probe " << i;
+            ASSERT_EQ(a[i].crashed, b[i].crashed) << "probe " << i;
+        }
+        EXPECT_EQ(serial.config_hash(), pooled.config_hash());
+    }
+}
+
+}  // namespace
+}  // namespace pv::infer

@@ -58,7 +58,7 @@ const pvlint::Finding* find_at(const pvlint::Report& report, const std::string& 
 
 // Every seeded violation, in the analyzer's (file, line, rule) sort order.
 // >= 2 findings per rule family: determinism (rng x2, clock x5, unordered
-// x2), layering (x2 + cycle), MSR (constant x2, raw-access x2),
+// x4), layering (x4 + cycle), MSR (constant x2, raw-access x2),
 // concurrency (primitive x2, guard x2), error paths (x2), plus the
 // waiver-hygiene rule.
 const std::vector<Key> kExpected = {
@@ -68,6 +68,10 @@ const std::vector<Key> kExpected = {
     {"src/defenses/bad_mutex.cpp", 7, Rule::ConcurrencyPrimitive},
     {"src/defenses/bad_mutex.cpp", 8, Rule::ConcurrencyPrimitive},
     {"src/defenses/bad_mutex.cpp", 9, Rule::ConcurrencyGuard},
+    {"src/infer/bad_infer.cpp", 4, Rule::Layering},
+    {"src/infer/bad_infer.cpp", 5, Rule::DeterminismUnordered},
+    {"src/infer/bad_infer.cpp", 8, Rule::DeterminismUnordered},
+    {"src/plugvolt/bad_adaptive.cpp", 5, Rule::Layering},
     {"src/plugvolt/bad_msr.cpp", 12, Rule::MsrConstant},
     {"src/plugvolt/bad_msr.cpp", 12, Rule::MsrRawAccess},
     {"src/plugvolt/bad_msr.cpp", 13, Rule::MsrConstant},
@@ -226,8 +230,8 @@ TEST(PvLint, JsonReportWellFormed) {
     const std::string json = out.str();
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json.substr(json.size() - 2), "}\n");
-    EXPECT_NE(json.find("\"files_scanned\": 13"), std::string::npos);
-    EXPECT_NE(json.find("\"blocking\": 22"), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 15"), std::string::npos);
+    EXPECT_NE(json.find("\"blocking\": 26"), std::string::npos);
     EXPECT_NE(json.find("\"rule\": \"layering-cycle\""), std::string::npos);
     EXPECT_NE(json.find("\"waived\": true"), std::string::npos);
     EXPECT_EQ(std::count(json.begin(), json.end(), '{'),

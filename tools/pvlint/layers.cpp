@@ -38,8 +38,8 @@ const std::map<std::string, Layer, std::less<>> kLayers = {
     {"sim", {"sim", 2}},             {"os", {"os", 3}},
     {"sgx", {"sgx", 4}},             {"plugvolt", {"plugvolt", 4}},
     {"workload", {"workload", 5}},   {"defenses", {"defenses", 5}},
-    {"attacks", {"attacks", 6}},     {"fleet", {"fleet", 6}},
-    {"campaign", {"campaign", 7}},
+    {"infer", {"infer", 5}},         {"attacks", {"attacks", 6}},
+    {"fleet", {"fleet", 6}},         {"campaign", {"campaign", 7}},
 };
 
 const Layer kMsrRegs = {"msr-regs", 0};
