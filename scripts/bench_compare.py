@@ -72,10 +72,12 @@ BENCHES = [
     # like everyone else's; the correctness gates (warm/cold probe
     # ratio, map bit-identity) stay in its exit code.
     ("fleet", ["bench/bench_fleet", "--quick"], "BENCH_fleet.json", None),
-    # Fresh subsystem: report the adaptive rows against their first
+    ("adaptive", ["bench/bench_adaptive", "--quick"], "BENCH_adaptive.json",
+     None),
+    # Fresh subsystem: report the daemon rows against their first
     # committed baseline for one PR before gating, so the gate starts
     # from a cross-machine-vetted floor rather than the authoring box.
-    ("adaptive", ["bench/bench_adaptive", "--quick"], "BENCH_adaptive.json",
+    ("daemon", ["bench/bench_daemon", "--quick"], "BENCH_daemon.json",
      "new baseline"),
 ]
 

@@ -3,7 +3,7 @@
 #
 #   scripts/check.sh            # warnings-as-errors build + full ctest
 #   scripts/check.sh --asan     # + ASan/UBSan build, ctest -LE soak
-#   scripts/check.sh --tsan     # + TSan build, ctest -L "concurrency|resilience|infer"
+#   scripts/check.sh --tsan     # + TSan build, ctest -L "concurrency|resilience|infer|serve"
 #   scripts/check.sh --tidy     # + clang-tidy over src/ (needs clang-tidy)
 #   scripts/check.sh --lint     # + pv-lint domain-contract analyzer (no clang needed)
 #   scripts/check.sh --bench    # + perf gate vs bench/baselines (bench_compare.py)
@@ -50,12 +50,12 @@ if [ "$run_asan" -eq 1 ]; then
 fi
 
 if [ "$run_tsan" -eq 1 ]; then
-    step 'TSan (ctest -L "concurrency|resilience|infer")'
+    step 'TSan (ctest -L "concurrency|resilience|infer|serve")'
     cmake -B build-check-tsan -S . -DPV_WERROR=ON \
         -DPV_SANITIZE=thread "${launcher[@]}" >/dev/null
     cmake --build build-check-tsan -j "$jobs"
     TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
-        ctest --test-dir build-check-tsan --output-on-failure -j "$jobs" -L "concurrency|resilience|infer"
+        ctest --test-dir build-check-tsan --output-on-failure -j "$jobs" -L "concurrency|resilience|infer|serve"
 fi
 
 if [ "$run_tidy" -eq 1 ]; then

@@ -9,6 +9,7 @@
 #include "attacks/voltjockey.hpp"
 #include "attacks/voltpillager.hpp"
 #include "campaign/benign_probe.hpp"
+#include "campaign/journal.hpp"
 #include "campaign/report.hpp"
 #include "check/assert.hpp"
 #include "check/msr_auditor.hpp"
@@ -17,6 +18,7 @@
 #include "defenses/minefield.hpp"
 #include "plugvolt/parallel_characterizer.hpp"
 #include "plugvolt/plugvolt.hpp"
+#include "os/msr_driver.hpp"
 #include "sgx/runtime.hpp"
 #include "trace/trace.hpp"
 #include "util/error.hpp"
@@ -32,6 +34,7 @@ namespace {
 constexpr std::uint64_t kMapSeedTag = 0xC0DE'0001;
 constexpr std::uint64_t kAttackRngTag = 0xC0DE'0002;
 constexpr std::uint64_t kRetryBackoffTag = 0xC0DE'0003;
+constexpr std::uint64_t kEnvFaultTag = 0xC0DE'0004;
 
 /// Everything one cell holds alive while its attack runs.  Member order
 /// is teardown order in reverse: the machine must outlive every consumer.
@@ -340,14 +343,67 @@ void CampaignEngine::prepare_maps() {
 }
 
 CampaignCellResult CampaignEngine::run_cell(const CellSpec& spec) {
+    return run_cell(spec, 0, {});
+}
+
+std::uint64_t CampaignEngine::config_hash() const {
+    check::StateHasher hasher;
+    hasher.mix(std::uint64_t{1});  // codec version
+    hasher.mix(config_.seed);
+    hasher.mix(static_cast<std::uint64_t>(config_.attacks.size()));
+    for (const AttackKind a : config_.attacks) hasher.mix(static_cast<std::uint64_t>(a));
+    hasher.mix(static_cast<std::uint64_t>(config_.defenses.size()));
+    for (const DefenseKind d : config_.defenses) hasher.mix(static_cast<std::uint64_t>(d));
+    hasher.mix(static_cast<std::uint64_t>(config_.profiles.size()));
+    for (const sim::CpuProfile& p : config_.profiles) {
+        hasher.mix(std::string_view(p.name));
+        hasher.mix(std::string_view(p.codename));
+        hasher.mix(std::string_view(p.microcode));
+        hasher.mix(static_cast<std::uint64_t>(p.core_count));
+        hasher.mix(p.freq_min.value());
+        hasher.mix(p.freq_max.value());
+        hasher.mix(p.freq_base.value());
+        hasher.mix(p.freq_step.value());
+        hasher.mix(static_cast<std::uint64_t>(p.vf_points.size()));
+        for (const auto& pt : p.vf_points) {
+            hasher.mix(pt.freq.value());
+            hasher.mix(pt.voltage.value());
+        }
+    }
+    hasher.mix(static_cast<std::uint64_t>(config_.max_attempts));
+    hasher.mix(static_cast<std::uint64_t>(config_.retry.base_delay.value()));
+    hasher.mix(config_.retry.multiplier);
+    hasher.mix(static_cast<std::uint64_t>(config_.retry.max_delay.value()));
+    hasher.mix(config_.retry.jitter);
+    hasher.mix(config_.char_step.value());
+    hasher.mix(config_.tuning.scan_step.value());
+    hasher.mix(config_.tuning.probe_ops);
+    hasher.mix(static_cast<std::uint64_t>(config_.tuning.runs_per_offset));
+    hasher.mix(static_cast<std::uint64_t>(config_.tuning.max_crashes));
+    hasher.mix(config_.audit);
+    hasher.mix(config_.fault_plan.has_value());
+    if (config_.fault_plan) {
+        hasher.mix(config_.fault_plan->seed);
+        for (const double rate : config_.fault_plan->rates) hasher.mix(rate);
+    }
+    return hasher.digest();
+}
+
+CampaignCellResult CampaignEngine::run_cell(const CellSpec& spec,
+                                            unsigned start_attempt,
+                                            const AttemptSink& sink) {
     PV_ASSERT(spec.profile_index < config_.profiles.size(),
               "cell profile index " << spec.profile_index << " out of range");
     const sim::CpuProfile& profile = config_.profiles[spec.profile_index];
     const plugvolt::SafeStateMap& map = map_for(spec.profile_index);
 
+    if (start_attempt >= config_.max_attempts) start_attempt = config_.max_attempts - 1;
+
     CampaignCellResult out;
     out.spec = spec;
     out.profile_name = profile.name;
+    // Journaled dead attempts are skipped, not replayed; they still count.
+    out.machine_rebuilds = start_attempt;
 
     // One trace track per cell, keyed by cell index: which worker (or
     // the calling thread) executes the cell is invisible in the export.
@@ -365,11 +421,24 @@ CampaignCellResult CampaignEngine::run_cell(const CellSpec& spec) {
     resilience::RetrySchedule sched(config_.retry, mix_seed(spec.seed, kRetryBackoffTag));
     while (sched.next_attempt()) {
         const unsigned attempt = sched.attempts() - 1;
+        // Fast-forward past journaled dead attempts: the schedule is
+        // still consumed (same attempt indices, same backoff stream), but
+        // the dead work is not replayed — the executed attempts are
+        // bit-identical to an uninterrupted run's.
+        if (attempt < start_attempt) continue;
         // Attempt seeds derive from the cell seed, so the retry loop is
         // as deterministic as the first try: a cell that dies on attempt
         // 0 dies identically on every replay, and its attempt-1 outcome
         // is a pure function of (config, cell) too.
+        // The env-fault injector reseeds per (cell, attempt) and must
+        // outlive the rig (teardown can still issue MSR traffic).
+        std::optional<resilience::FaultInjector> injector;
         CellRig rig(profile, mix_seed(spec.seed, attempt));
+        if (config_.fault_plan) {
+            injector.emplace(*config_.fault_plan);
+            injector->reseed(mix_seed(mix_seed(spec.seed, kEnvFaultTag), attempt));
+            rig.kernel.msr().set_fault_injector(&*injector);
+        }
         if (sched.backoff() > Picoseconds{0}) {
             // Reboot pacing: the operator waits out the backoff before
             // re-arming the cell, charged on the fresh machine's clock so
@@ -438,10 +507,12 @@ CampaignCellResult CampaignEngine::run_cell(const CellSpec& spec) {
         out.metrics = reg.snapshot();
         if (const plugvolt::PollingModule* module = rig.polling_module())
             out.metrics.merge(module->metrics_snapshot(), "polling.");
+        if (injector) out.metrics.merge(injector->metrics_snapshot(), "env.");
 
         if (!dead) break;
         ++out.machine_rebuilds;
         out.metrics.set_counter("machine_rebuilds", out.machine_rebuilds);
+        if (sink) sink(spec, out.machine_rebuilds);
         if (attempt + 1 == config_.max_attempts) {
             out.verdict += " [machine dead after " + std::to_string(out.attempts) +
                            " attempts]";
@@ -485,6 +556,96 @@ CampaignReport CampaignEngine::run(
     for (auto& future : futures) {
         report.cells.push_back(future.get());  // rethrows worker exceptions
         if (progress) progress(report.cells.back());
+    }
+    return report;
+}
+
+CampaignReport CampaignEngine::run(
+    CampaignJournal& journal,
+    const std::function<void(const CampaignCellResult&)>& progress) {
+    const std::vector<CellSpec> specs = cells();
+    const CampaignJournalHeader& header = journal.header();
+    if (header.config_hash != config_hash())
+        throw JournalError("campaign journal belongs to a different configuration");
+    if (header.seed != config_.seed) throw JournalError("campaign journal seed mismatch");
+    if (header.cells != specs.size())
+        throw JournalError("campaign journal cube size mismatch");
+
+    run_stats_ = {};
+    FlatMap<std::uint64_t, CampaignCellResult> adopted;
+    {
+        std::vector<CampaignCellResult> done = journal.cells();
+        for (CampaignCellResult& cell : done) {
+            const std::uint64_t index = cell.spec.index;
+            if (index >= specs.size()) throw JournalError("journaled cell outside the cube");
+            const CellSpec& expect = specs[index];
+            if (cell.spec.attack != expect.attack || cell.spec.defense != expect.defense ||
+                cell.spec.profile_index != expect.profile_index ||
+                cell.spec.seed != expect.seed)
+                throw JournalError("journaled cell " + std::to_string(index) +
+                                   " does not match the cube enumeration");
+            adopted[index] = std::move(cell);
+        }
+    }
+
+    prepare_maps();
+    CampaignReport report;
+    report.seed = config_.seed;
+    report.n_attacks = config_.attacks.size();
+    report.n_defenses = config_.defenses.size();
+    report.n_profiles = config_.profiles.size();
+    report.cells.reserve(specs.size());
+
+    const AttemptSink sink = [&journal](const CellSpec& s, unsigned failed) {
+        journal.commit_attempt(s.index, failed);
+    };
+    // Write-ahead ordering: a fresh cell becomes durable BEFORE progress
+    // observes it, so a crash between the two re-runs nothing and a
+    // consumer never sees a cell the journal could lose.
+    const auto deliver = [&](CampaignCellResult&& cell, bool fresh) {
+        if (fresh) journal.commit_cell(cell);
+        report.cells.push_back(std::move(cell));
+        if (progress) progress(report.cells.back());
+    };
+
+    if (config_.workers <= 1) {
+        for (const CellSpec& spec : specs) {
+            const auto it = adopted.find(spec.index);
+            if (it != adopted.end()) {
+                ++run_stats_.cells_adopted;
+                deliver(std::move(it->second), false);
+                continue;
+            }
+            const unsigned start = journal.attempts_failed(spec.index);
+            run_stats_.attempts_fast_forwarded += start;
+            ++run_stats_.cells_executed;
+            deliver(run_cell(spec, start, sink), true);
+        }
+        return report;
+    }
+
+    // Sharded resume: only the missing cells enter the pool; collection
+    // stays in enumeration order, so commit order (and the journal's
+    // cell-frame order) is deterministic even though attempt frames from
+    // workers may interleave freely — replay keys every frame by index.
+    ThreadPool pool(config_.workers);
+    std::vector<std::future<CampaignCellResult>> futures(specs.size());
+    for (const CellSpec& spec : specs) {
+        if (adopted.contains(spec.index)) continue;
+        const unsigned start = journal.attempts_failed(spec.index);
+        run_stats_.attempts_fast_forwarded += start;
+        ++run_stats_.cells_executed;
+        futures[spec.index] =
+            pool.submit([this, spec, start, &sink] { return run_cell(spec, start, sink); });
+    }
+    for (const CellSpec& spec : specs) {
+        const auto it = adopted.find(spec.index);
+        if (it != adopted.end()) {
+            ++run_stats_.cells_adopted;
+            deliver(std::move(it->second), false);
+        } else {
+            deliver(futures[spec.index].get(), true);  // rethrows worker exceptions
+        }
     }
     return report;
 }

@@ -35,6 +35,7 @@
 #include "attacks/attack.hpp"
 #include "plugvolt/polling_module.hpp"
 #include "plugvolt/safe_state.hpp"
+#include "resilience/fault_injection.hpp"
 #include "resilience/retry.hpp"
 #include "sim/cpu_profile.hpp"
 #include "trace/metrics.hpp"
@@ -126,6 +127,12 @@ struct CampaignConfig {
     AttackTuning tuning{};
     /// Attach an MsrAuditor to every cell and record its findings.
     bool audit = true;
+    /// Optional environment fault plan: every cell attempt runs its MSR
+    /// traffic through a FaultInjector reseeded from (cell seed,
+    /// attempt), so injected faults are a pure function of (config,
+    /// cell, attempt) — order- and worker-count-independent, and
+    /// bit-identical across resumed runs.
+    std::optional<resilience::FaultPlan> fault_plan;
     /// Optional trace sink (not owned; must outlive run()).  Every cell
     /// opens its own track, keyed by cell INDEX — never by worker or OS
     /// thread — and all events carry virtual-clock timestamps, so the
@@ -172,10 +179,25 @@ struct CampaignCellResult {
 [[nodiscard]] std::uint64_t fingerprint(const CampaignCellResult& cell);
 
 struct CampaignReport;  // report.hpp
+class CampaignJournal;  // journal.hpp
+
+/// Per-run resume accounting (what run(journal) adopted vs executed).
+struct CampaignRunStats {
+    std::uint64_t cells_executed = 0;
+    std::uint64_t cells_adopted = 0;
+    std::uint64_t attempts_fast_forwarded = 0;
+
+    friend bool operator==(const CampaignRunStats&, const CampaignRunStats&) = default;
+};
 
 /// The sharded campaign driver.
 class CampaignEngine {
 public:
+    /// Notification that `attempts_failed` attempts of `spec` have ended
+    /// with a dead machine (the journaling hook; may fire on a pool
+    /// worker thread in sharded runs).
+    using AttemptSink = std::function<void(const CellSpec& spec, unsigned attempts_failed)>;
+
     explicit CampaignEngine(CampaignConfig config);
     ~CampaignEngine();
 
@@ -186,6 +208,11 @@ public:
     /// then attack) with derived per-cell seeds.
     [[nodiscard]] std::vector<CellSpec> cells() const;
 
+    /// Fingerprint over everything result-determining in the config
+    /// (cube axes, seed, tuning, retry, audit, fault plan — NOT workers
+    /// or trace sinks).  The campaign journal's header identity.
+    [[nodiscard]] std::uint64_t config_hash() const;
+
     /// Run the whole cube.  workers > 1 shards cells across a ThreadPool;
     /// the report's cells are always in enumeration order and equal the
     /// single-thread run fingerprint-for-fingerprint.  `progress`
@@ -193,9 +220,31 @@ public:
     [[nodiscard]] CampaignReport run(
         const std::function<void(const CampaignCellResult&)>& progress = {});
 
+    /// Run the cube against a cell-granular WAL: journaled cells are
+    /// adopted verbatim (bit-identical by per-cell purity), journaled
+    /// dead-attempt counts fast-forward each cell's retry stream, and
+    /// every fresh cell is committed BEFORE `progress` sees it.  The
+    /// journal's header must match this engine (config_hash, seed, cube
+    /// size) or JournalError is thrown.
+    [[nodiscard]] CampaignReport run(
+        CampaignJournal& journal,
+        const std::function<void(const CampaignCellResult&)>& progress = {});
+
+    /// Accounting for the most recent run(journal) call.
+    [[nodiscard]] const CampaignRunStats& run_stats() const { return run_stats_; }
+
     /// Execute one cell bit-exactly (the --replay path).  Pure function
     /// of (config, spec): calling it twice returns equal fingerprints.
     [[nodiscard]] CampaignCellResult run_cell(const CellSpec& spec);
+
+    /// run_cell with resume support: skips the first `start_attempt`
+    /// attempts (journaled as dead) while still consuming their retry
+    /// schedule — the executed attempts see the same seeds and backoffs
+    /// as an uninterrupted run, so the result is bit-identical.  `sink`
+    /// (optional) observes each dead attempt as it is recorded.
+    [[nodiscard]] CampaignCellResult run_cell(const CellSpec& spec,
+                                              unsigned start_attempt,
+                                              const AttemptSink& sink);
 
     /// Characterize (once, lazily) and return the safe-state map armed
     /// for profile `profile_index`.  Deterministic in config.seed and
@@ -211,6 +260,7 @@ private:
 
     CampaignConfig config_;
     std::vector<std::unique_ptr<plugvolt::SafeStateMap>> maps_;
+    CampaignRunStats run_stats_;
 };
 
 }  // namespace pv::campaign

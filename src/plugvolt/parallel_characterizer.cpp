@@ -427,6 +427,7 @@ SafeStateMap ParallelCharacterizer::run_rows(
     if (config_.mode == SweepMode::Adaptive) return run_adaptive(done, commit, progress);
     const std::vector<Megahertz> table = profile_.frequency_table();
     stats_ = {};
+    planned_rows_.clear();  // a planner verdict only exists for Adaptive sweeps
 
     // One simulator per worker thread, all from the same profile; the
     // boot seed is irrelevant to results (every probe re-seeds) but kept
@@ -591,6 +592,13 @@ SafeStateMap ParallelCharacterizer::run_adaptive(
     if (plan.size() != table.size())
         throw ConfigError("adaptive planner returned " + std::to_string(plan.size()) +
                           " rows for a " + std::to_string(table.size()) + "-row table");
+
+    // Surface the merged verdict (adopted rows keep their journaled
+    // provenance, fresh rows take the planner's) for the serving layer's
+    // uncertainty-aware guard bands.
+    planned_rows_.resize(table.size());
+    for (std::size_t i = 0; i < table.size(); ++i)
+        planned_rows_[i] = ctx.adopted[i] ? *ctx.adopted[i] : plan[i];
 
     std::vector<std::uint64_t> row_cells(table.size(), 0);
     std::vector<std::uint64_t> row_crashes(table.size(), 0);

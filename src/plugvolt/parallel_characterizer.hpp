@@ -262,6 +262,17 @@ public:
         return probe_log_;
     }
 
+    /// The last Adaptive sweep's per-row verdicts, indexed like the
+    /// frequency table (empty for other modes).  `anchored` marks rows
+    /// certified by direct probes; interpolated rows carry only the
+    /// planner's 1-cell certificate — the uncertainty signal the serving
+    /// layer widens guard bands with.  Identical between a fresh run and
+    /// a journal resume (adopted rows keep their probed/interpolated
+    /// provenance via the journal's cells counter).
+    [[nodiscard]] const std::vector<PlannedRow>& planned_rows() const {
+        return planned_rows_;
+    }
+
     [[nodiscard]] const ParallelCharacterizerConfig& config() const { return config_; }
     [[nodiscard]] const sim::CpuProfile& profile() const { return profile_; }
 
@@ -303,6 +314,7 @@ private:
     ParallelCharacterizerConfig config_;
     SweepStats stats_{};
     std::vector<ProbeLogEntry> probe_log_;
+    std::vector<PlannedRow> planned_rows_;
 };
 
 }  // namespace pv::plugvolt

@@ -1,147 +1,27 @@
 #include "resilience/journal.hpp"
 
-#include <bit>
-#include <fstream>
 #include <utility>
 
-#include "resilience/crc32.hpp"
 #include "trace/trace.hpp"
 #include "util/error.hpp"
-#include "util/fsio.hpp"
-#include "util/rng.hpp"
 
 namespace pv::resilience {
 namespace {
 
-constexpr char kMagic0 = 'P';
-constexpr char kMagic1 = 'V';
 constexpr std::uint8_t kHeaderKind = 1;
 constexpr std::uint8_t kRowKind = 2;
-constexpr std::size_t kFrameOverhead = 2 + 1 + 4 + 4;  // magic + kind + len + crc
-/// Frames larger than this are rejected as corrupt rather than parsed
-/// (a flipped length byte must not make the decoder swallow the file).
-constexpr std::uint32_t kMaxPayload = 1u << 20;
 
-void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
-
-void put_u32(std::string& out, std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void put_f64(std::string& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
-
-/// Bounds-checked little-endian reader over one payload.
-class Reader {
-public:
-    explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-    [[nodiscard]] bool ok() const { return ok_; }
-    [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
-
-    std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)); }
-    std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
-    std::uint64_t u64() { return take(8); }
-    double f64() { return std::bit_cast<double>(take(8)); }
-
-    std::string str(std::size_t n) {
-        if (pos_ + n > bytes_.size()) {
-            ok_ = false;
-            return {};
-        }
-        std::string s(bytes_.substr(pos_, n));
-        pos_ += n;
-        return s;
-    }
-
-private:
-    std::uint64_t take(std::size_t n) {
-        if (pos_ + n > bytes_.size()) {
-            ok_ = false;
-            return 0;
-        }
-        std::uint64_t v = 0;
-        for (std::size_t i = 0; i < n; ++i)
-            v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
-                 << (8 * i);
-        pos_ += n;
-        return v;
-    }
-
-    std::string_view bytes_;
-    std::size_t pos_ = 0;
-    bool ok_ = true;
-};
-
-std::string frame(std::uint8_t kind, const std::string& payload) {
-    std::string out;
-    out.reserve(kFrameOverhead + payload.size());
-    out.push_back(kMagic0);
-    out.push_back(kMagic1);
-    put_u8(out, kind);
-    put_u32(out, static_cast<std::uint32_t>(payload.size()));
-    put_u32(out, crc32(payload));
-    out += payload;
-    return out;
-}
-
-/// One frame scanned off the head of `bytes`; valid == false means the
-/// bytes at this position are not an intact frame (torn tail).
-struct ScannedFrame {
-    bool valid = false;
-    std::uint8_t kind = 0;
-    std::string_view payload;
-    std::size_t size = 0;
-};
-
-ScannedFrame scan_frame(std::string_view bytes) {
-    ScannedFrame f;
-    if (bytes.size() < kFrameOverhead) return f;
-    if (bytes[0] != kMagic0 || bytes[1] != kMagic1) return f;
-    const auto kind = static_cast<std::uint8_t>(bytes[2]);
-    std::uint32_t len = 0;
-    for (std::size_t i = 0; i < 4; ++i)
-        len |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3 + i]))
-               << (8 * i);
-    std::uint32_t crc = 0;
-    for (std::size_t i = 0; i < 4; ++i)
-        crc |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[7 + i]))
-               << (8 * i);
-    if (len > kMaxPayload || kFrameOverhead + len > bytes.size()) return f;
-    const std::string_view payload = bytes.substr(kFrameOverhead, len);
-    if (crc32(payload) != crc) return f;
-    f.valid = true;
-    f.kind = kind;
-    f.payload = payload;
-    f.size = kFrameOverhead + len;
-    return f;
-}
-
-}  // namespace
-
-const char* to_string(CommitMode mode) {
-    switch (mode) {
-        case CommitMode::Append: return "append";
-        case CommitMode::AtomicRewrite: return "atomic-rewrite";
-    }
-    return "?";
-}
-
-std::string encode_header_frame(const JournalHeader& header) {
+std::string encode_header_payload(const JournalHeader& header) {
     std::string payload;
     put_u32(payload, header.version);
     put_u64(payload, header.config_hash);
     put_u64(payload, header.seed);
     put_f64(payload, header.sweep_floor_mv);
-    put_u32(payload, static_cast<std::uint32_t>(header.system_name.size()));
-    payload += header.system_name;
-    return frame(kHeaderKind, payload);
+    put_str(payload, header.system_name);
+    return payload;
 }
 
-std::string encode_row_frame(const RowRecord& record) {
+std::string encode_row_payload(const RowRecord& record) {
     std::string payload;
     put_u64(payload, record.row_index);
     put_f64(payload, record.freq_mhz);
@@ -150,7 +30,56 @@ std::string encode_row_frame(const RowRecord& record) {
     put_u8(payload, record.fault_free ? 1 : 0);
     put_u64(payload, record.cells);
     put_u64(payload, record.crashes);
-    return frame(kRowKind, payload);
+    return payload;
+}
+
+/// Decode a header payload; throws JournalError on a malformed or
+/// unsupported header (the journal cannot be used at all in that case).
+JournalHeader decode_header_payload(std::string_view payload) {
+    PayloadReader r(payload);
+    JournalHeader header;
+    header.version = r.u32();
+    header.config_hash = r.u64();
+    header.seed = r.u64();
+    header.sweep_floor_mv = r.f64();
+    header.system_name = r.str_lp();
+    if (!r.ok() || !r.exhausted()) throw JournalError("malformed journal header payload");
+    if (header.version != 1)
+        throw JournalError("unsupported journal version " +
+                           std::to_string(header.version));
+    return header;
+}
+
+bool decode_row_payload(std::string_view payload, RowRecord& rec) {
+    PayloadReader r(payload);
+    rec.row_index = r.u64();
+    rec.freq_mhz = r.f64();
+    rec.onset_mv = r.f64();
+    rec.crash_mv = r.f64();
+    rec.fault_free = r.u8() != 0;
+    rec.cells = r.u64();
+    rec.crashes = r.u64();
+    return r.ok() && r.exhausted();
+}
+
+FrameLog::Kinds journal_kinds() { return FrameLog::Kinds{kHeaderKind, {kRowKind}}; }
+
+/// Replay-time validator: row frames whose CRC collided with garbage
+/// must start the torn tail, exactly as decode_journal treats them.
+bool validate_frame(std::uint8_t kind, std::string_view payload) {
+    if (kind == kHeaderKind) return true;  // header decode errors throw below
+    RowRecord rec;
+    return decode_row_payload(payload, rec);
+}
+
+}  // namespace
+
+std::string encode_header_frame(const JournalHeader& header) {
+    return encode_frame(kHeaderKind, encode_header_payload(header));
+}
+
+std::string encode_row_frame(const RowRecord& record) {
+    return encode_frame(kRowKind, encode_row_payload(record));
 }
 
 JournalReplay decode_journal(std::string_view bytes) {
@@ -158,34 +87,13 @@ JournalReplay decode_journal(std::string_view bytes) {
     const ScannedFrame head = scan_frame(bytes);
     if (!head.valid || head.kind != kHeaderKind)
         throw JournalError("no valid journal header frame");
-    {
-        Reader r(head.payload);
-        replay.header.version = r.u32();
-        replay.header.config_hash = r.u64();
-        replay.header.seed = r.u64();
-        replay.header.sweep_floor_mv = r.f64();
-        const std::uint32_t name_len = r.u32();
-        replay.header.system_name = r.str(name_len);
-        if (!r.ok() || !r.exhausted())
-            throw JournalError("malformed journal header payload");
-        if (replay.header.version != 1)
-            throw JournalError("unsupported journal version " +
-                               std::to_string(replay.header.version));
-    }
+    replay.header = decode_header_payload(head.payload);
     std::size_t pos = head.size;
     while (pos < bytes.size()) {
         const ScannedFrame f = scan_frame(bytes.substr(pos));
         if (!f.valid || f.kind != kRowKind) break;  // torn tail from here on
-        Reader r(f.payload);
         RowRecord rec;
-        rec.row_index = r.u64();
-        rec.freq_mhz = r.f64();
-        rec.onset_mv = r.f64();
-        rec.crash_mv = r.f64();
-        rec.fault_free = r.u8() != 0;
-        rec.cells = r.u64();
-        rec.crashes = r.u64();
-        if (!r.ok() || !r.exhausted()) break;  // CRC collided with garbage; drop
+        if (!decode_row_payload(f.payload, rec)) break;  // CRC collided with garbage
         replay.rows.push_back(rec);
         pos += f.size;
     }
@@ -195,72 +103,28 @@ JournalReplay decode_journal(std::string_view bytes) {
 }
 
 SweepJournal::SweepJournal(std::string path, JournalHeader header, JournalOptions options)
-    : path_(std::move(path)), options_(options), header_(std::move(header)) {
-    options_.io_retry.validate();
-    // The initial image is written unconditionally (creating the journal
-    // is the caller's decision to start a sweep, not a mid-sweep commit),
-    // atomically in both modes so a half-written header can never exist.
-    content_ = encode_header_frame(header_);
-    atomic_write_file(path_, content_);
-    bytes_written_ += content_.size();
-}
+    : log_(std::move(path), journal_kinds(), encode_header_payload(header), options),
+      header_(std::move(header)) {}
 
-SweepJournal::SweepJournal(std::string path, JournalOptions options)
-    : path_(std::move(path)), options_(options) {
-    options_.io_retry.validate();
-    const std::string bytes = read_file(path_);
-    JournalReplay replay = decode_journal(bytes);
-    header_ = std::move(replay.header);
-    rows_ = std::move(replay.rows);
-    tail_dropped_ = replay.tail_dropped;
-    content_ = bytes.substr(0, replay.valid_bytes);
-    if (tail_dropped_) {
-        // Scrub the torn bytes so Append-mode commits land after the
-        // last intact frame, not after garbage the decoder would stop at.
-        atomic_write_file(path_, content_);
-        bytes_written_ += content_.size();
+SweepJournal::SweepJournal(FrameLog&& log) : log_(std::move(log)) {
+    header_ = decode_header_payload(log_.header_payload());
+    rows_.reserve(log_.frames().size());
+    for (const FrameLog::Frame& f : log_.frames()) {
+        RowRecord rec;
+        decode_row_payload(f.payload, rec);  // validated during replay
+        rows_.push_back(rec);
     }
 }
 
 SweepJournal SweepJournal::resume(const std::string& path, JournalOptions options) {
-    return SweepJournal(path, options);
-}
-
-void SweepJournal::write_frame(const std::string& frame_bytes) {
-    RetrySchedule sched(options_.io_retry, mix_seed(options_.io_retry_seed, commits_));
-    while (sched.next_attempt()) {
-        if (sched.attempts() > 1) ++io_retries_;
-        if (options_.file_faults != nullptr &&
-            options_.file_faults->should_inject(FaultKind::FileWriteError)) {
-            PV_TRACE_EVENT(trace::EventKind::EnvFaultInjected, "journal-write-fault", 0,
-                           static_cast<std::uint64_t>(FaultKind::FileWriteError),
-                           commits_);
-            continue;
-        }
-        if (options_.mode == CommitMode::AtomicRewrite) {
-            atomic_write_file(path_, content_ + frame_bytes);
-            bytes_written_ += content_.size() + frame_bytes.size();
-        } else {
-            std::ofstream out(path_, std::ios::binary | std::ios::app);
-            out.write(frame_bytes.data(),
-                      static_cast<std::streamsize>(frame_bytes.size()));
-            out.flush();
-            if (!out) throw JournalError("append failed on " + path_);
-            bytes_written_ += frame_bytes.size();
-        }
-        content_ += frame_bytes;
-        return;
-    }
-    throw JournalError("commit to " + path_ + " failed after " +
-                       std::to_string(options_.io_retry.max_attempts) + " attempts");
+    return SweepJournal(FrameLog::resume(path, journal_kinds(), options, validate_frame));
 }
 
 void SweepJournal::commit(const RowRecord& record) {
-    write_frame(encode_row_frame(record));
+    log_.append(kRowKind, encode_row_payload(record));
     rows_.push_back(record);
-    ++commits_;
     PV_TRACE_EVENT(trace::EventKind::JournalCommit, "journal-commit", 0,
-                   record.row_index, static_cast<std::uint64_t>(content_.size()));
+                   record.row_index, log_.logical_bytes());
 }
 
 }  // namespace pv::resilience

@@ -9,29 +9,17 @@
 // per-cell seeding scheme guarantees the final map is bit-identical to
 // an uninterrupted run's.
 //
-// On-disk format (version 1, all integers little-endian):
+// On-disk format (version 1), built on the generic CRC framing in
+// frames.hpp (frame := magic:u16 kind:u8 payload_len:u32 crc:u32
+// payload, torn tails dropped and scrubbed on resume):
 //
 //   file   := header-frame row-frame*
-//   frame  := magic:u16 ('P','V')  kind:u8  payload_len:u32  crc:u32  payload
 //   header := version:u32  config_hash:u64  seed:u64  sweep_floor:f64(bits)
 //             name_len:u32  name bytes                       (kind = 1)
 //   row    := row_index:u64  freq_mhz:f64  onset_mv:f64  crash_mv:f64
 //             fault_free:u8  cells:u64  crashes:u64           (kind = 2)
 //
-// The crc is CRC-32 over the payload bytes.  Doubles travel as bit
-// patterns, so adopted rows are bit-exact — the state_hash contract.
-// Replay walks frames until the bytes run out or a frame fails its
-// magic/length/CRC check; everything after the first bad frame is a
-// torn tail from a crash mid-append and is dropped (and scrubbed from
-// the file on resume, so later appends cannot land after garbage).
-//
-// Two commit modes:
-//   Append        — append + flush one frame per commit (cheap; a torn
-//                   final record is dropped by CRC on replay);
-//   AtomicRewrite — rewrite the whole journal through a temp-file +
-//                   rename per commit (every on-disk state is a complete
-//                   valid journal; costs O(n) bytes per commit — the
-//                   write-amplification trade bench_recovery measures).
+// Commit modes and fault-injected retry live in FrameLog (frames.hpp).
 #pragma once
 
 #include <cstdint>
@@ -40,6 +28,7 @@
 #include <vector>
 
 #include "resilience/fault_injection.hpp"
+#include "resilience/frames.hpp"
 #include "resilience/retry.hpp"
 
 namespace pv::resilience {
@@ -72,10 +61,6 @@ struct RowRecord {
     friend bool operator==(const RowRecord&, const RowRecord&) = default;
 };
 
-enum class CommitMode { Append, AtomicRewrite };
-
-[[nodiscard]] const char* to_string(CommitMode mode);
-
 /// Frame encoders, exposed for the property tests (round-trip and
 /// torn-tail recovery are tested at this layer).
 [[nodiscard]] std::string encode_header_frame(const JournalHeader& header);
@@ -94,17 +79,6 @@ struct JournalReplay {
 /// Decode a journal byte image, dropping any torn tail.  Throws
 /// JournalError when the image does not start with a valid header frame.
 [[nodiscard]] JournalReplay decode_journal(std::string_view bytes);
-
-struct JournalOptions {
-    CommitMode mode = CommitMode::Append;
-    /// Optional injected-fault source for commits (FileWriteError
-    /// opportunities); not owned, may be nullptr.
-    FaultInjector* file_faults = nullptr;
-    /// Commit retry budget against injected file faults.
-    RetryPolicy io_retry{};
-    /// Jitter stream for the commit retries.
-    std::uint64_t io_retry_seed = 0x10'FA17;
-};
 
 /// The write-ahead journal.  One instance owns one file.
 class SweepJournal {
@@ -127,33 +101,23 @@ public:
     /// Rows durable in this journal (replayed + committed), in commit order.
     [[nodiscard]] const std::vector<RowRecord>& rows() const { return rows_; }
     /// True when resume() dropped a torn tail.
-    [[nodiscard]] bool tail_dropped() const { return tail_dropped_; }
-    [[nodiscard]] const std::string& path() const { return path_; }
-    [[nodiscard]] const JournalOptions& options() const { return options_; }
+    [[nodiscard]] bool tail_dropped() const { return log_.tail_dropped(); }
+    [[nodiscard]] const std::string& path() const { return log_.path(); }
+    [[nodiscard]] const JournalOptions& options() const { return log_.options(); }
 
     /// I/O accounting for bench_recovery: logical journal size vs bytes
     /// actually written (write amplification), commits and fault retries.
-    [[nodiscard]] std::uint64_t commits() const { return commits_; }
-    [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
-    [[nodiscard]] std::uint64_t logical_bytes() const { return content_.size(); }
-    [[nodiscard]] std::uint64_t io_retries() const { return io_retries_; }
+    [[nodiscard]] std::uint64_t commits() const { return log_.commits(); }
+    [[nodiscard]] std::uint64_t bytes_written() const { return log_.bytes_written(); }
+    [[nodiscard]] std::uint64_t logical_bytes() const { return log_.logical_bytes(); }
+    [[nodiscard]] std::uint64_t io_retries() const { return log_.io_retries(); }
 
 private:
-    SweepJournal(std::string path, JournalOptions options);  // resume body
+    explicit SweepJournal(FrameLog&& log);  // resume body
 
-    /// Write `frame` durably per the commit mode, retrying injected
-    /// faults; appends to content_ on success.
-    void write_frame(const std::string& frame);
-
-    std::string path_;
-    JournalOptions options_;
+    FrameLog log_;
     JournalHeader header_;
     std::vector<RowRecord> rows_;
-    std::string content_;  // the valid byte image (logical journal)
-    bool tail_dropped_ = false;
-    std::uint64_t commits_ = 0;
-    std::uint64_t bytes_written_ = 0;
-    std::uint64_t io_retries_ = 0;
 };
 
 }  // namespace pv::resilience

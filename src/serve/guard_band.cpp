@@ -1,0 +1,33 @@
+#include "serve/guard_band.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace pv::serve {
+
+WidenedMap widen_uncertain_rows(const plugvolt::SafeStateMap& map,
+                                const std::vector<plugvolt::PlannedRow>& planned,
+                                Millivolts offset_step) {
+    if (planned.empty()) return WidenedMap{map, 0};
+    if (planned.size() != map.rows().size())
+        throw ConfigError("planned-row table (" + std::to_string(planned.size()) +
+                          " rows) does not match the map (" +
+                          std::to_string(map.rows().size()) + " rows)");
+    if (offset_step.value() <= 0.0)
+        throw ConfigError("guard-band widening needs a positive offset step");
+
+    WidenedMap out{plugvolt::SafeStateMap(map.system_name(), map.sweep_floor()), 0};
+    for (std::size_t i = 0; i < map.rows().size(); ++i) {
+        plugvolt::FreqCharacterization row = map.rows()[i];
+        if (!planned[i].anchored && !row.fault_free) {
+            row.onset = std::min(Millivolts{0.0}, row.onset + offset_step);
+            ++out.widened_rows;
+        }
+        out.map.add(row);
+    }
+    return out;
+}
+
+}  // namespace pv::serve

@@ -1,0 +1,50 @@
+// PlugVolt — uncertainty-aware serving guard bands.
+//
+// An Adaptive sweep certifies two kinds of rows (see
+// plugvolt/parallel_characterizer.hpp): ANCHOR rows, whose boundaries
+// were probed down to a one-step bracket, and INTERPOLATED rows, which
+// were never probed and carry only the planner's 1-cell accuracy
+// certificate — their true onset may sit one offset step to either side
+// of the reported value.  A map that feeds the daemon's benign-DVFS
+// endpoint must not grant an undervolt the true boundary would fault on,
+// so before a map is committed for serving, every uncertain row's fault
+// onset is moved to the CONSERVATIVE edge of its certified bracket: one
+// offset step shallower (toward 0 mV).  safe_limit() on a widened row is
+// therefore one step shallower than the raw map's — the price of not
+// probing the row, paid in guard band instead of safety.
+//
+// Anchored rows, fault-free columns and the crash boundary are kept
+// verbatim: anchors hold the exact bisection bracket invariant, a
+// fault-free certificate already serves from the sweep floor, and the
+// crash boundary never enters safe_limit().  Widening is a pure function
+// of (map, planned rows), and planned_rows() is identical between a
+// fresh sweep and a journal resume, so the widened map — and with it
+// every DVFS verdict — is bit-identical across kill/resume cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "plugvolt/parallel_characterizer.hpp"
+#include "plugvolt/safe_state.hpp"
+#include "util/units.hpp"
+
+namespace pv::serve {
+
+/// A serving-ready map plus the number of rows that paid the
+/// uncertainty widening.
+struct WidenedMap {
+    plugvolt::SafeStateMap map;
+    std::uint64_t widened_rows = 0;
+};
+
+/// Shallow every non-anchored, faulting row's onset by one
+/// `offset_step` (capped at 0 mV).  An empty `planned` table (the sweep
+/// was not Adaptive — every row was directly probed) returns the map
+/// unchanged; a table whose size does not match the map throws
+/// ConfigError.
+[[nodiscard]] WidenedMap widen_uncertain_rows(
+    const plugvolt::SafeStateMap& map,
+    const std::vector<plugvolt::PlannedRow>& planned, Millivolts offset_step);
+
+}  // namespace pv::serve

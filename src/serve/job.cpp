@@ -1,0 +1,26 @@
+#include "serve/job.hpp"
+
+namespace pv::serve {
+
+const char* to_string(JobKind kind) {
+    switch (kind) {
+        case JobKind::Characterize: return "characterize";
+        case JobKind::Campaign: return "campaign";
+        case JobKind::Fleet: return "fleet";
+    }
+    return "?";
+}
+
+const char* to_string(JobState state) {
+    switch (state) {
+        case JobState::Queued: return "queued";
+        case JobState::Running: return "running";
+        case JobState::Completed: return "completed";
+        case JobState::Failed: return "failed";
+        case JobState::Quarantined: return "quarantined";
+        case JobState::Rejected: return "rejected";
+    }
+    return "?";
+}
+
+}  // namespace pv::serve

@@ -1,0 +1,104 @@
+// PlugVolt — campaign-as-a-service job model.
+//
+// The daemon (serve/daemon.hpp) runs every long workload in the repo —
+// single-part characterizations, adversarial campaign cubes, fleet
+// sweeps — behind one deterministic job queue.  A JobSpec is the entire
+// input of a job: a handful of scalar knobs from which the daemon
+// derives the engine configuration purely, so a job's result (and its
+// 64-bit fingerprint) is a function of (daemon config, spec) alone —
+// never of submission time, queue contention, or how often the daemon
+// process was killed and resumed in between.
+//
+// Lifecycle:
+//
+//   Queued ──▶ Running ──▶ Completed            (fingerprint published)
+//                  │   └──▶ Quarantined         (work-unit deadline hit)
+//                  └──────▶ Failed              (job retry budget spent)
+//   Queued ──▶ Rejected                         (queue full at submit)
+//
+// Quarantine is the watchdog verdict: a job that exceeds its cooperative
+// work-unit budget is cancelled at the next unit boundary, journaled,
+// and parked — it never blocks the queue, and its partial engine journal
+// stays on disk for postmortem replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/metrics.hpp"
+
+namespace pv::serve {
+
+/// Which engine a job drives.
+enum class JobKind : std::uint8_t {
+    Characterize,  ///< one part's safe-state map (ParallelCharacterizer)
+    Campaign,      ///< an {attack} x {defense} cube slice (CampaignEngine)
+    Fleet,         ///< a silicon lot -> PopulationEnvelope (FleetOrchestrator)
+};
+
+enum class JobState : std::uint8_t {
+    Queued,
+    Running,
+    Completed,
+    Failed,       ///< job-level retry budget exhausted
+    Quarantined,  ///< watchdog: work-unit deadline exceeded
+    Rejected,     ///< admission control: queue full at submit time
+};
+
+[[nodiscard]] const char* to_string(JobKind kind);
+[[nodiscard]] const char* to_string(JobState state);
+
+/// The full input of one job.  Every field is journaled in the submit
+/// frame, so a resumed daemon re-derives the identical engine
+/// configuration.  Fields not meaningful for a kind are ignored by it.
+struct JobSpec {
+    JobKind kind = JobKind::Characterize;
+    /// Root seed of the job's engine (sweep seed / campaign seed / fleet
+    /// sweep seed; the fleet's lot seed is derived from it).
+    std::uint64_t seed = 0xDAC2024;
+    /// Index into sim::paper_profiles() (validated at submit).
+    std::uint64_t profile_index = 0;
+    /// Characterization offset resolution, mV (> 0).
+    double char_step_mv = 10.0;
+    /// plugvolt::SweepMode as u8 (0 exhaustive, 1 bisection, 2 adaptive);
+    /// adaptive jobs get the src/infer planner attached and feed their
+    /// bracket uncertainty into the serving guard band (guard_band.hpp).
+    std::uint8_t sweep_mode = 1;
+    /// Fleet jobs: units in the lot (>= 1).
+    std::uint64_t units = 3;
+    /// Cooperative watchdog budget: a job still unfinished after this
+    /// many delivered work units (rows / cells / units) is quarantined at
+    /// the next unit boundary.  0 = unlimited.
+    std::uint64_t deadline_units = 0;
+    /// Campaign jobs: prefix of the attack / defense axes to run
+    /// (0 = the full axis).
+    std::uint64_t campaign_attacks = 0;
+    std::uint64_t campaign_defenses = 0;
+    /// Deterministic failure knob for the retry tests: the first N
+    /// executions of this job throw before reaching the engine.
+    std::uint32_t inject_fail_attempts = 0;
+
+    friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+/// One job's queue record.  Everything except `metrics` is journaled and
+/// enters queue_fingerprint(); metrics are an in-process observability
+/// surface (empty for jobs adopted already-finished from the WAL).
+struct JobRecord {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    /// Result identity: state_hash of the map (Characterize), the report
+    /// fingerprint (Campaign), or state_hash of the envelope (Fleet).
+    std::uint64_t result_fingerprint = 0;
+    /// Executions begun (failed attempts + the successful one, if any).
+    std::uint32_t attempts = 0;
+    /// Work units delivered by the last execution.
+    std::uint64_t progress_units = 0;
+    /// Human verdict / failure reason.
+    std::string detail;
+    /// Per-job counters (units, retries, backoff, engine stats).
+    trace::MetricsSnapshot metrics;
+};
+
+}  // namespace pv::serve

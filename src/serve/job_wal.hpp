@@ -1,0 +1,92 @@
+// PlugVolt — the daemon's job-queue write-ahead log.
+//
+// Same CRC-framed format as every journal in src/resilience (FrameLog):
+// a header frame pins the daemon's config hash, then one frame per queue
+// transition, appended BEFORE the in-memory state changes.  kill -9 at
+// any byte boundary leaves at worst a torn tail, which resume() drops
+// and scrubs; everything before it replays into the exact queue the
+// killed daemon had made durable.
+//
+// Frame kinds:
+//   1 header         version, daemon config hash
+//   2 submitted      id + the full JobSpec
+//   3 started        id              (an execution began)
+//   4 attempt_failed id, attempts    (cumulative failed executions)
+//   5 finished       id, terminal state, fingerprint, attempts, units, detail
+//   6 rejected       id              (admission control said no)
+//
+// Replay semantics: a `started` frame without a matching `finished`
+// means the daemon died mid-execution — the job replays as Queued and is
+// re-run on resume, where its own engine journal (cell/row granularity)
+// fast-forwards the work already made durable.  `attempt_failed` frames
+// replay max-wins, so a resumed job re-enters its retry loop at the same
+// execution index an uninterrupted run would be at.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resilience/frames.hpp"
+#include "serve/job.hpp"
+#include "util/flat_map.hpp"
+
+namespace pv::serve {
+
+struct JobWalHeader {
+    std::uint32_t version = 1;
+    std::uint64_t config_hash = 0;
+};
+
+/// Submit-frame payload codec, exposed for the WAL tests.
+[[nodiscard]] std::string encode_spec_payload(std::uint64_t id, const JobSpec& spec);
+[[nodiscard]] bool decode_spec_payload(std::string_view payload, std::uint64_t& id,
+                                       JobSpec& spec);
+
+/// The queue WAL.  NOT thread-safe: the daemon serializes every append
+/// under its own mutex.  Throws JournalError / IoError like the other
+/// journals (see resilience/frames.hpp).
+class JobWal {
+public:
+    /// Start a fresh WAL at `path` (created atomically with the header
+    /// frame; an existing file is replaced).
+    JobWal(std::string path, JobWalHeader header,
+           resilience::JournalOptions options = {});
+
+    /// Recover a WAL off disk: CRC-validate every frame, drop and scrub
+    /// a torn tail, replay the queue.
+    [[nodiscard]] static JobWal resume(const std::string& path,
+                                       resilience::JournalOptions options = {});
+
+    void submitted(std::uint64_t id, const JobSpec& spec);
+    void rejected(std::uint64_t id);
+    void started(std::uint64_t id);
+    void attempt_failed(std::uint64_t id, std::uint32_t attempts);
+    void finished(const JobRecord& record);
+
+    [[nodiscard]] const JobWalHeader& header() const { return header_; }
+
+    /// The replayed queue, in job-id order.  Only meaningful on a WAL
+    /// opened via resume(); terminal jobs carry their journaled
+    /// fingerprint, unfinished ones replay as Queued.
+    [[nodiscard]] const std::vector<JobRecord>& records() const { return records_; }
+
+    /// One past the highest journaled job id (1 on an empty WAL).
+    [[nodiscard]] std::uint64_t next_id() const { return next_id_; }
+
+    [[nodiscard]] bool tail_dropped() const { return log_.tail_dropped(); }
+    [[nodiscard]] const std::string& path() const { return log_.path(); }
+    [[nodiscard]] std::uint64_t commits() const { return log_.commits(); }
+    [[nodiscard]] std::uint64_t bytes_written() const { return log_.bytes_written(); }
+
+private:
+    explicit JobWal(resilience::FrameLog&& log);
+
+    resilience::FrameLog log_;
+    JobWalHeader header_;
+    std::vector<JobRecord> records_;
+    std::uint64_t next_id_ = 1;
+};
+
+}  // namespace pv::serve

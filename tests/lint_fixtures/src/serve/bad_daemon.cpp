@@ -1,0 +1,12 @@
+// Seeded violations: trace-tap (serve reaching past the sanctioned
+// trace headers into recorder internals) and determinism-unordered
+// (src/serve computes queue fingerprints).
+// Lines pinned by tests/test_pvlint.cpp.
+#include "trace/recorder.hpp"  // line 5: trace-tap (recorder is internal)
+#include <unordered_map>       // line 6: determinism-unordered
+
+int fixture_serve_daemon() {
+    std::unordered_map<int, int> queue;  // line 9: determinism-unordered
+    queue[1] = 2;
+    return static_cast<int>(queue.size());
+}

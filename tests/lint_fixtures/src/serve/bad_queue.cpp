@@ -1,0 +1,10 @@
+// Seeded violations: two determinism-unordered findings — iteration
+// order of a hash set would leak into the job WAL replay and the queue
+// fingerprint.  Lines pinned by tests/test_pvlint.cpp.
+#include <unordered_set>  // line 4: determinism-unordered
+
+int fixture_serve_queue() {
+    std::unordered_set<int> pending;  // line 7: determinism-unordered
+    pending.insert(42);
+    return static_cast<int>(pending.size());
+}

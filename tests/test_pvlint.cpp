@@ -58,7 +58,7 @@ const pvlint::Finding* find_at(const pvlint::Report& report, const std::string& 
 
 // Every seeded violation, in the analyzer's (file, line, rule) sort order.
 // >= 2 findings per rule family: determinism (rng x2, clock x5, unordered
-// x4), layering (x4 + cycle), MSR (constant x2, raw-access x2),
+// x8), layering (x5 + cycle), MSR (constant x2, raw-access x2),
 // concurrency (primitive x2, guard x2), error paths (x2), plus the
 // waiver-hygiene rule.
 const std::vector<Key> kExpected = {
@@ -78,6 +78,11 @@ const std::vector<Key> kExpected = {
     {"src/plugvolt/bad_msr.cpp", 13, Rule::MsrRawAccess},
     {"src/resilience/bad_errors.cpp", 13, Rule::ErrorPathThrow},
     {"src/resilience/bad_errors.cpp", 14, Rule::ErrorPathThrow},
+    {"src/serve/bad_daemon.cpp", 5, Rule::Layering},
+    {"src/serve/bad_daemon.cpp", 6, Rule::DeterminismUnordered},
+    {"src/serve/bad_daemon.cpp", 9, Rule::DeterminismUnordered},
+    {"src/serve/bad_queue.cpp", 4, Rule::DeterminismUnordered},
+    {"src/serve/bad_queue.cpp", 7, Rule::DeterminismUnordered},
     {"src/sim/bad_determinism.cpp", 4, Rule::DeterminismUnordered},
     {"src/sim/bad_determinism.cpp", 7, Rule::DeterminismRng},
     {"src/sim/bad_determinism.cpp", 8, Rule::DeterminismRng},
@@ -230,8 +235,8 @@ TEST(PvLint, JsonReportWellFormed) {
     const std::string json = out.str();
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json.substr(json.size() - 2), "}\n");
-    EXPECT_NE(json.find("\"files_scanned\": 15"), std::string::npos);
-    EXPECT_NE(json.find("\"blocking\": 26"), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 17"), std::string::npos);
+    EXPECT_NE(json.find("\"blocking\": 31"), std::string::npos);
     EXPECT_NE(json.find("\"rule\": \"layering-cycle\""), std::string::npos);
     EXPECT_NE(json.find("\"waived\": true"), std::string::npos);
     EXPECT_EQ(std::count(json.begin(), json.end(), '{'),

@@ -1,0 +1,142 @@
+// Daemon kill/resume soak: 25 seeds, mixed job kinds, environment fault
+// injection on odd seeds, kill -9 (modeled as a non-std::exception
+// thrown from the progress hook — the daemon's retry loop must not
+// swallow it) at a seed-derived work unit, then a fresh CampaignDaemon
+// on the same state directory.  The revived daemon must finish the
+// stream and end BIT-IDENTICAL to a never-killed reference: the same
+// queue fingerprint (every job's id, spec, terminal state, result
+// fingerprint, attempt count, unit count and detail), and the same
+// committed serving state (envelope state hash included).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resilience/fault_injection.hpp"
+#include "serve/daemon.hpp"
+#include "util/rng.hpp"
+
+namespace pv::serve {
+namespace {
+
+/// Deliberately not derived from std::exception: models SIGKILL.
+struct KillSignal {};
+
+constexpr std::uint64_t kSoakSeeds = 25;
+
+std::string soak_dir(const char* tag, std::uint64_t i) {
+    const std::string dir =
+        ::testing::TempDir() + "pv_serve_soak_" + tag + "_" + std::to_string(i);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/// The per-seed job stream: a characterization (Bisection or Adaptive,
+/// sometimes with injected job-level failures), then either a fleet run
+/// or a small campaign cube.
+std::vector<JobSpec> job_stream(std::uint64_t seed, std::uint64_t i) {
+    std::vector<JobSpec> stream;
+    JobSpec characterize;
+    characterize.kind = JobKind::Characterize;
+    characterize.seed = seed;
+    characterize.sweep_mode = (i % 4 == 2) ? 2 : 1;  // Adaptive every 4th
+    if (i % 3 == 0) characterize.inject_fail_attempts = 1;
+    stream.push_back(characterize);
+
+    if (i % 2 == 0) {
+        JobSpec fleet;
+        fleet.kind = JobKind::Fleet;
+        fleet.seed = mix_seed(seed, 1);
+        fleet.units = 2;
+        stream.push_back(fleet);
+    } else {
+        JobSpec campaign;
+        campaign.kind = JobKind::Campaign;
+        campaign.seed = mix_seed(seed, 2);
+        campaign.campaign_attacks = 2;
+        campaign.campaign_defenses = 2;
+        stream.push_back(campaign);
+    }
+    return stream;
+}
+
+TEST(ServeResumeSoak, KilledDaemonResumesBitIdentical) {
+    for (std::uint64_t i = 0; i < kSoakSeeds; ++i) {
+        const std::uint64_t seed = mix_seed(0x5E12'2026, i);
+        DaemonConfig config;
+        if (i % 2 == 1) {
+            resilience::FaultPlan plan;
+            plan.set_rate(resilience::FaultKind::MailboxBusy, 0.1);
+            plan.set_rate(resilience::FaultKind::StaleRead, 0.05);
+            config.fault_plan = plan;
+        }
+        const std::vector<JobSpec> stream = job_stream(seed, i);
+
+        // Reference: never killed.
+        config.state_dir = soak_dir("ref", i);
+        CampaignDaemon reference(config);
+        for (const JobSpec& spec : stream) (void)reference.submit(spec);
+        reference.run_until_idle();
+        const std::uint64_t reference_fp = reference.queue_fingerprint();
+        const std::optional<EnvelopeView> reference_env = reference.query_envelope();
+
+        // Victim: killed mid-job at a seed-derived delivered unit.
+        config.state_dir = soak_dir("kill", i);
+        const std::uint64_t kill_at = 1 + seed % 10;
+        bool killed = false;
+        {
+            CampaignDaemon victim(config);
+            std::uint64_t delivered = 0;
+            victim.set_progress([&](const JobRecord&, std::uint64_t) {
+                if (++delivered == kill_at) throw KillSignal{};
+            });
+            for (const JobSpec& spec : stream) (void)victim.submit(spec);
+            try {
+                victim.run_until_idle();
+            } catch (const KillSignal&) {
+                killed = true;
+            }
+        }
+        ASSERT_TRUE(killed) << "seed " << i << ": kill point past the whole stream";
+
+        CampaignDaemon revived(config);
+        revived.run_until_idle();
+
+        EXPECT_EQ(revived.queue_fingerprint(), reference_fp) << "seed " << i;
+        const std::vector<JobRecord> expect = reference.jobs();
+        const std::vector<JobRecord> got = revived.jobs();
+        ASSERT_EQ(got.size(), expect.size()) << "seed " << i;
+        for (std::size_t j = 0; j < expect.size(); ++j) {
+            EXPECT_EQ(got[j].state, expect[j].state) << "seed " << i << " job " << j;
+            EXPECT_EQ(got[j].result_fingerprint, expect[j].result_fingerprint)
+                << "seed " << i << " job " << j;
+            EXPECT_EQ(got[j].attempts, expect[j].attempts)
+                << "seed " << i << " job " << j;
+            EXPECT_EQ(got[j].progress_units, expect[j].progress_units)
+                << "seed " << i << " job " << j;
+            EXPECT_EQ(got[j].detail, expect[j].detail) << "seed " << i << " job " << j;
+        }
+
+        // Committed serving state: identical envelope hash (fleet
+        // seeds) and identical DVFS verdicts (every seed).
+        const std::optional<EnvelopeView> revived_env = revived.query_envelope();
+        ASSERT_EQ(revived_env.has_value(), reference_env.has_value()) << "seed " << i;
+        if (reference_env) {
+            EXPECT_EQ(revived_env->state_hash, reference_env->state_hash)
+                << "seed " << i;
+            EXPECT_EQ(revived_env->source_job, reference_env->source_job);
+        }
+        EXPECT_EQ(revived.request_undervolt(Megahertz{3000.0}, Millivolts{-400.0}),
+                  reference.request_undervolt(Megahertz{3000.0}, Millivolts{-400.0}))
+            << "seed " << i;
+
+        std::filesystem::remove_all(reference.config().state_dir);
+        std::filesystem::remove_all(revived.config().state_dir);
+    }
+}
+
+}  // namespace
+}  // namespace pv::serve

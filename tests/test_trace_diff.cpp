@@ -1,0 +1,108 @@
+// trace-diff tests: the first-divergence report itself, plus the
+// determinism witness it exists for — a sharded (5-worker) campaign's
+// exported trace is line-identical to the single-thread run's.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "trace/recorder.hpp"
+#include "trace_diff/trace_diff.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
+
+namespace pv::tracediff {
+namespace {
+
+TEST(TraceDiff, IdenticalTextIsIdentical) {
+    const DiffResult result = diff_text("a,b\n1,2\n", "a,b\n1,2\n");
+    EXPECT_TRUE(result.identical);
+    EXPECT_EQ(result.line, 0u);
+    EXPECT_EQ(result.left_lines, 2u);
+    EXPECT_EQ(format(result), "identical (2 lines)");
+}
+
+TEST(TraceDiff, ReportsFirstDivergentLine) {
+    const DiffResult result = diff_text("a\nb\nc\nd\n", "a\nb\nX\nd\n");
+    EXPECT_FALSE(result.identical);
+    EXPECT_EQ(result.line, 3u);
+    EXPECT_EQ(result.left, "c");
+    EXPECT_EQ(result.right, "X");
+    EXPECT_EQ(result.left_lines, 4u);
+    EXPECT_EQ(result.right_lines, 4u);
+    EXPECT_NE(format(result).find("first divergence at line 3"), std::string::npos);
+}
+
+TEST(TraceDiff, TruncatedTailIsADivergence) {
+    const DiffResult result = diff_text("a\nb\nc\n", "a\nb\n");
+    EXPECT_FALSE(result.identical);
+    EXPECT_EQ(result.line, 3u);
+    EXPECT_EQ(result.left, "c");
+    EXPECT_EQ(result.right, "<end of file>");
+}
+
+TEST(TraceDiff, StripsCarriageReturns) {
+    EXPECT_TRUE(diff_text("a\r\nb\r\n", "a\nb\n").identical);
+}
+
+TEST(TraceDiff, MissingFileThrows) {
+    EXPECT_THROW((void)diff_files("/nonexistent/left.csv", "/nonexistent/right.csv"),
+                 IoError);
+}
+
+// The tool's raison d'être: a 5-worker campaign trace export is
+// line-identical to the single-thread export (virtual-clock timestamps,
+// deterministic track/seq assignment), and when someone breaks that,
+// trace-diff points at the exact first event.
+TEST(TraceDiff, ShardedCampaignTraceMatchesSerialTrace) {
+    const std::string dir = ::testing::TempDir() + "pv_trace_diff";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string serial_csv = dir + "/serial.csv";
+    const std::string sharded_csv = dir + "/sharded.csv";
+
+    const auto run = [&](unsigned workers, const std::string& path) {
+        campaign::CampaignConfig config;
+        config.attacks = {campaign::all_attacks()[0], campaign::all_attacks()[1]};
+        config.defenses = {campaign::all_defenses()[0], campaign::all_defenses()[1]};
+        campaign::AttackTuning tuning;
+        tuning.scan_step = Millivolts{8.0};
+        tuning.probe_ops = 20'000;
+        tuning.runs_per_offset = 8;
+        config.tuning = tuning;
+        config.char_step = Millivolts{5.0};
+        config.workers = workers;
+        trace::TraceSession session(4096);
+        config.trace = &session;
+        campaign::CampaignEngine engine(config);
+        const campaign::CampaignReport report = engine.run();
+        session.write_csv(path);
+        return report.fingerprint();
+    };
+
+    const std::uint64_t serial_fp = run(1, serial_csv);
+    const std::uint64_t sharded_fp = run(5, sharded_csv);
+    EXPECT_EQ(serial_fp, sharded_fp);
+
+    const DiffResult same = diff_files(serial_csv, sharded_csv);
+    EXPECT_TRUE(same.identical) << format(same);
+    EXPECT_GT(same.left_lines, 1u);
+
+    // Flip one byte mid-file: the report pins the exact line.
+    std::string bytes = read_file(sharded_csv);
+    const std::size_t victim = bytes.find('\n', bytes.size() / 2);
+    ASSERT_NE(victim, std::string::npos);
+    bytes[victim + 1] = '#';
+    atomic_write_file(sharded_csv, bytes);
+    const DiffResult diverged = diff_files(serial_csv, sharded_csv);
+    EXPECT_FALSE(diverged.identical);
+    EXPECT_GT(diverged.line, 1u);
+    EXPECT_NE(diverged.left, diverged.right);
+
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pv::tracediff

@@ -40,6 +40,7 @@ const std::map<std::string, Layer, std::less<>> kLayers = {
     {"workload", {"workload", 5}},   {"defenses", {"defenses", 5}},
     {"infer", {"infer", 5}},         {"attacks", {"attacks", 6}},
     {"fleet", {"fleet", 6}},         {"campaign", {"campaign", 7}},
+    {"serve", {"serve", 8}},
 };
 
 const Layer kMsrRegs = {"msr-regs", 0};

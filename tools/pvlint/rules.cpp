@@ -130,7 +130,8 @@ void rule_determinism_unordered(RuleContext& ctx, const SourceFile& file) {
     const bool fingerprint_path =
         starts_with(file.rel, "src/sim/") || starts_with(file.rel, "src/plugvolt/") ||
         starts_with(file.rel, "src/campaign/") || starts_with(file.rel, "src/trace/") ||
-        starts_with(file.rel, "src/fleet/") || starts_with(file.rel, "src/infer/");
+        starts_with(file.rel, "src/fleet/") || starts_with(file.rel, "src/infer/") ||
+        starts_with(file.rel, "src/serve/");
     if (!fingerprint_path) return;
     for (std::size_t i = 0; i < file.code.size(); ++i) {
         for (const char* name : {"unordered_map", "unordered_set", "unordered_multimap",

@@ -1,0 +1,27 @@
+// trace-diff CLI: compare two exported trace files, print either
+// "identical (N lines)" or the first divergent event.
+//
+//   trace-diff <left.csv> <right.csv>
+//
+// Exit codes: 0 identical, 1 divergent, 2 usage / IO error — so CI
+// scripts can assert determinism with a single invocation.
+#include <cstdio>
+#include <exception>
+
+#include "trace_diff/trace_diff.hpp"
+
+int main(int argc, char** argv) {
+    if (argc != 3) {
+        std::fprintf(stderr, "usage: trace-diff <left> <right>\n");
+        return 2;
+    }
+    try {
+        const pv::tracediff::DiffResult result =
+            pv::tracediff::diff_files(argv[1], argv[2]);
+        std::printf("%s\n", pv::tracediff::format(result).c_str());
+        return result.identical ? 0 : 1;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "trace-diff: %s\n", error.what());
+        return 2;
+    }
+}

@@ -1,0 +1,69 @@
+#include "trace_diff/trace_diff.hpp"
+
+#include <string_view>
+
+#include "util/fsio.hpp"
+
+namespace pv::tracediff {
+namespace {
+
+constexpr std::string_view kEndOfFile = "<end of file>";
+
+/// Pull the next line out of `text` starting at `pos`; strips the
+/// newline and a trailing '\r'.  Returns false at end of input.
+bool next_line(const std::string& text, std::size_t& pos, std::string& line) {
+    if (pos >= text.size()) return false;
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t end = (nl == std::string::npos) ? text.size() : nl;
+    line.assign(text, pos, end - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    pos = (nl == std::string::npos) ? text.size() : nl + 1;
+    return true;
+}
+
+}  // namespace
+
+DiffResult diff_text(const std::string& left, const std::string& right) {
+    DiffResult result;
+    std::size_t lpos = 0;
+    std::size_t rpos = 0;
+    std::string lline;
+    std::string rline;
+    std::size_t line_no = 0;
+    while (true) {
+        const bool lhas = next_line(left, lpos, lline);
+        const bool rhas = next_line(right, rpos, rline);
+        if (lhas) ++result.left_lines;
+        if (rhas) ++result.right_lines;
+        ++line_no;
+        if (!lhas && !rhas) {
+            result.identical = true;
+            return result;
+        }
+        if (!lhas || !rhas || lline != rline) {
+            result.identical = false;
+            result.line = line_no;
+            result.left = lhas ? lline : std::string(kEndOfFile);
+            result.right = rhas ? rline : std::string(kEndOfFile);
+            // Count the remaining lines so the report can show sizes.
+            while (next_line(left, lpos, lline)) ++result.left_lines;
+            while (next_line(right, rpos, rline)) ++result.right_lines;
+            return result;
+        }
+    }
+}
+
+DiffResult diff_files(const std::string& left_path, const std::string& right_path) {
+    return diff_text(read_file(left_path), read_file(right_path));
+}
+
+std::string format(const DiffResult& result) {
+    if (result.identical)
+        return "identical (" + std::to_string(result.left_lines) + " lines)";
+    return "first divergence at line " + std::to_string(result.line) + "\n  left:  " +
+           result.left + "\n  right: " + result.right + "\n(left " +
+           std::to_string(result.left_lines) + " lines, right " +
+           std::to_string(result.right_lines) + " lines)";
+}
+
+}  // namespace pv::tracediff

@@ -1,0 +1,49 @@
+// trace-diff — first-divergence finder for exported trace files.
+//
+// The simulator's determinism story is only as strong as its witnesses.
+// The ctest suites assert equality of state hashes and fingerprints,
+// which tells you THAT two runs diverged but not WHERE.  trace-diff
+// closes that gap for exported TraceSession files (the CSV schema
+// `track_id,track_name,seq,ts_ps,kind,name,a,b` and, byte-compared, any
+// other line-oriented export): it walks two exports in lockstep and
+// reports the FIRST line where they disagree — the first event whose
+// track, timestamp, payload or ordering differs — which is almost
+// always the event right after the real bug.
+//
+// The comparison is deliberately line-exact (after stripping a trailing
+// '\r' so exports that crossed a CRLF filesystem still compare clean):
+// the repo's trace exports are byte-deterministic across worker counts,
+// so ANY difference is a finding, including a truncated tail.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pv::tracediff {
+
+/// Outcome of diffing two exported trace files.
+struct DiffResult {
+    bool identical = false;
+    /// 1-based line number of the first divergence (0 when identical).
+    std::size_t line = 0;
+    /// The diverging lines ("<end of file>" for the shorter side).
+    std::string left;
+    std::string right;
+    /// Total lines in each file.
+    std::size_t left_lines = 0;
+    std::size_t right_lines = 0;
+};
+
+/// Diff two in-memory exports line by line.
+[[nodiscard]] DiffResult diff_text(const std::string& left, const std::string& right);
+
+/// Diff two exported trace files.  Throws IoError (via read_file) when
+/// either path cannot be read.
+[[nodiscard]] DiffResult diff_files(const std::string& left_path,
+                                    const std::string& right_path);
+
+/// Human-readable verdict: "identical (N lines)" or a three-line
+/// first-divergence report.
+[[nodiscard]] std::string format(const DiffResult& result);
+
+}  // namespace pv::tracediff
